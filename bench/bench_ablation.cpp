@@ -1,0 +1,124 @@
+// Ablation studies on the LFCA tree's design choices (not in the paper;
+// DESIGN.md motivates them):
+//
+//   1. Heuristic constants: how CONT_CONTRIB / RANGE_CONTRIB and the
+//      HIGH/LOW thresholds move the split/join equilibrium and throughput.
+//   2. The §6 optimistic range-query fast path on vs. off.
+//   3. Fat-leaf fill limit (the paper fixes 64; the treap exposes a knob).
+//
+// All runs use the adaptivity-sensitive scenario of Fig. 9b
+// (w:20% r:55% q:25%-1000).
+#include "bench_common.hpp"
+#include "treap/treap.hpp"
+
+namespace {
+
+using namespace cats;
+
+template <class Tree = lfca::LfcaTree>
+harness::RunResult run_lfca(const harness::Options& opt,
+                            const lfca::Config& config,
+                            const harness::Mix& mix, int threads,
+                            std::size_t* routes_out) {
+  Tree tree(reclaim::Domain::global(), config);
+  harness::prefill(tree, opt.size);
+  tree.reset_stats();
+  const harness::RunResult r =
+      harness::run_mix(tree, threads, mix, opt.size, opt.duration * opt.runs);
+  *routes_out = tree.route_node_count();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cats;
+  auto opt = harness::Options::parse(argc, argv);
+  const harness::Mix mix = harness::Mix::of_percent(20, 55, 25, 1000);
+  const int threads = opt.threads.back();
+
+  if (opt.csv) {
+    std::printf("ablation,variant,mops,route_nodes\n");
+  } else {
+    std::printf("\n=== Ablation: LFCA design choices, %s, %d threads, "
+                "S=%lld ===\n",
+                mix.describe().c_str(), threads,
+                static_cast<long long>(opt.size));
+    std::printf("%-34s %10s %12s\n", "variant", "op/us", "routenodes");
+  }
+
+  auto report = [&](const char* variant, const lfca::Config& config) {
+    std::size_t routes = 0;
+    const harness::RunResult r = run_lfca(opt, config, mix, threads, &routes);
+    if (opt.csv) {
+      std::printf("ablation,%s,%.4f,%zu\n", variant, r.throughput_mops(),
+                  routes);
+    } else {
+      std::printf("%-34s %10.3f %12zu\n", variant, r.throughput_mops(),
+                  routes);
+    }
+    std::fflush(stdout);
+  };
+
+  lfca::Config base;
+  report("paper-defaults", base);
+
+  // 1. Heuristic constants.
+  {
+    lfca::Config c = base;
+    c.cont_contrib = 50;
+    report("cont_contrib=50 (slow splits)", c);
+    c = base;
+    c.cont_contrib = 1000;
+    report("cont_contrib=1000 (eager splits)", c);
+    c = base;
+    c.range_contrib = 0;
+    report("range_contrib=0 (no range info)", c);
+    c = base;
+    c.range_contrib = 500;
+    report("range_contrib=500 (eager joins)", c);
+    c = base;
+    c.high_cont = 100;
+    c.low_cont = -100;
+    report("thresholds=+/-100 (twitchy)", c);
+    c = base;
+    c.high_cont = 10000;
+    c.low_cont = -10000;
+    report("thresholds=+/-10000 (sluggish)", c);
+  }
+
+  // 2. The §6 optimistic range query.
+  {
+    lfca::Config c = base;
+    c.optimistic_ranges = false;
+    report("optimistic-ranges=off (Fig 5 only)", c);
+  }
+
+  // 3. Fat-leaf fill limit.
+  for (std::uint32_t fill : {8u, 16u, 32u, 64u}) {
+    treap::set_leaf_fill(fill);
+    char label[64];
+    std::snprintf(label, sizeof label, "leaf_fill=%u", fill);
+    report(label, base);
+  }
+  treap::set_leaf_fill(treap::kLeafCapacity);
+
+  // 4. Leaf-container policy (the paper's "Flexible" property): the flat
+  // sorted-array container pays O(n) per update, which is exactly the
+  // degradation §3 attributes to the k-ary tree's and Leaplist's arrays
+  // when nodes grow — adaptation keeps chunks short under contention, but
+  // the coarse quiescent state makes updates expensive.
+  {
+    std::size_t routes = 0;
+    const harness::RunResult r = run_lfca<lfca::LfcaTreeChunk>(
+        opt, base, mix, threads, &routes);
+    if (opt.csv) {
+      std::printf("ablation,chunk-container,%.4f,%zu\n", r.throughput_mops(),
+                  routes);
+    } else {
+      std::printf("%-34s %10.3f %12zu\n", "container=chunk (flat array)",
+                  r.throughput_mops(), routes);
+    }
+  }
+  return 0;
+}

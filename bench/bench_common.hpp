@@ -1,0 +1,98 @@
+// Shared scaffolding for the figure/table benchmark binaries: the roster of
+// competing structures and the measure-and-print loop.
+//
+// Structure names follow the paper's legends:
+//   lfca       — this paper's LFCA tree
+//   ca-lock    — lock-based CA tree [17, 22]
+//   kary       — lock-free k-ary search tree, k = 64 [4]
+//   imtr       — Im-Tr-Coarse: CAS on a single immutable tree (§1)
+//   sl-nonatom — lock-free skiplist, non-linearizable ranges (NonAtomicSL)
+//   vskip      — versioned skiplist (KiWi-mechanism stand-in [2])
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "calock/ca_tree.hpp"
+#include "harness/cli.hpp"
+#include "harness/runner.hpp"
+#include "harness/workload.hpp"
+#include "imtr/imtr_set.hpp"
+#include "kary/kary_tree.hpp"
+#include "lfca/lfca_tree.hpp"
+#include "skiplist/skiplist.hpp"
+#include "vskip/versioned_skiplist.hpp"
+
+namespace cats::bench {
+
+template <class S>
+struct Tag {
+  using type = S;
+  const char* name;
+};
+
+/// Invokes `f` with a Tag for every structure passing the --only filter.
+template <class F>
+void for_each_structure(const std::string& only, F&& f) {
+  auto want = [&](const char* name) { return only.empty() || only == name; };
+  if (want("lfca")) f(Tag<lfca::LfcaTree>{"lfca"});
+  if (want("ca-lock")) f(Tag<calock::CaTree>{"ca-lock"});
+  if (want("kary")) f(Tag<kary::KaryTree>{"kary"});
+  if (want("imtr")) f(Tag<imtr::ImTreeSet>{"imtr"});
+  if (want("sl-nonatom")) f(Tag<skiplist::SkipList>{"sl-nonatom"});
+  if (want("vskip")) f(Tag<vskip::VersionedSkipList>{"vskip"});
+}
+
+/// Builds a fresh pre-filled instance, runs the groups `opt.runs` times and
+/// returns the averaged result.
+template <class S>
+harness::RunResult measure(const harness::Options& opt,
+                           const std::vector<harness::ThreadGroup>& groups) {
+  harness::RunResult avg;
+  for (int run = 0; run < opt.runs; ++run) {
+    S structure;
+    harness::prefill(structure, opt.size);
+    const harness::RunResult r = harness::run_mix(
+        structure, groups, opt.size, opt.duration, 1000 + run);
+    avg.seconds += r.seconds / opt.runs;
+    avg.total_ops += r.total_ops / opt.runs;
+    avg.range_queries += r.range_queries / opt.runs;
+    avg.range_items += r.range_items / opt.runs;
+    for (int g = 0; g < 4; ++g) avg.group_ops[g] += r.group_ops[g] / opt.runs;
+  }
+  return avg;
+}
+
+/// Prints one throughput-vs-threads series in the paper's layout (ops/µs)
+/// or CSV (`figure,structure,threads,mops`).
+template <class S>
+void run_thread_sweep(const char* figure, const char* name,
+                      const harness::Options& opt, const harness::Mix& mix) {
+  if (!opt.csv) std::printf("%-10s", name);
+  for (int threads : opt.threads) {
+    harness::RunResult r =
+        measure<S>(opt, {harness::ThreadGroup{threads, mix}});
+    if (opt.csv) {
+      std::printf("%s,%s,%d,%.4f\n", figure, name, threads,
+                  r.throughput_mops());
+    } else {
+      std::printf(" %9.3f", r.throughput_mops());
+    }
+    std::fflush(stdout);
+  }
+  if (!opt.csv) std::printf("\n");
+}
+
+inline void print_sweep_header(const char* title,
+                               const harness::Options& opt) {
+  if (opt.csv) return;
+  std::printf("\n=== %s ===\n", title);
+  std::printf("throughput in operations/us; S=%lld, %.2fs x %d run(s)\n",
+              static_cast<long long>(opt.size), opt.duration, opt.runs);
+  std::printf("%-10s", "threads:");
+  for (int t : opt.threads) std::printf(" %9d", t);
+  std::printf("\n");
+}
+
+}  // namespace cats::bench

@@ -1,0 +1,42 @@
+// Figure 1: coarse- vs fine-grained synchronization (§1).
+//
+// The motivating experiment: the lock-free k-ary tree (fine-grained, k=64)
+// against Im-Tr-Coarse (one immutable tree behind a CAS) on the mixed
+// workload w:20% r:55% q:25%, once with small range queries (a) and once
+// with large ones (b).  The paper's point: neither fixed granularity wins
+// both scenarios — small ranges favour kary, large ranges favour imtr.
+//
+// Range bounds: (a) R = 10 gives ~2.5 items per query on a half-full key
+// space; (b) R = S/10 gives ~S/40 items (25k at the paper's S = 10^6).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cats;
+  using namespace cats::bench;
+  auto opt = harness::Options::parse(argc, argv);
+
+  struct Panel {
+    const char* figure;
+    const char* title;
+    std::int64_t range_max;
+  };
+  const Panel panels[] = {
+      {"fig1a", "Fig 1a: small range queries (w:20% r:55% q:25%-10)", 10},
+      {"fig1b", "Fig 1b: large range queries (w:20% r:55% q:25%-S/10)",
+       opt.size / 10},
+  };
+
+  if (opt.csv) std::printf("figure,structure,threads,mops\n");
+  for (const Panel& panel : panels) {
+    const harness::Mix mix =
+        harness::Mix::of_percent(20, 55, 25, panel.range_max);
+    print_sweep_header(panel.title, opt);
+    if (opt.only.empty() || opt.only == "kary") {
+      run_thread_sweep<kary::KaryTree>(panel.figure, "kary", opt, mix);
+    }
+    if (opt.only.empty() || opt.only == "imtr") {
+      run_thread_sweep<imtr::ImTreeSet>(panel.figure, "imtr", opt, mix);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 10: large range queries under concurrent updates (§7, after the
+// KiWi authors' benchmark).
+//
+// Half the threads run updates (50% insert / 50% remove), the other half
+// run range queries of one FIXED size; the two throughputs are reported
+// separately.  Following the paper, the range-query plot shows
+// operations/us multiplied by the range size ("items scanned per us").
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cats;
+  using namespace cats::bench;
+  auto opt = harness::Options::parse(argc, argv);
+
+  // The paper uses 16 + 16 threads; we split the largest requested count.
+  const int total = std::max(2, opt.threads.back());
+  const int per_group = std::max(1, total / 2);
+
+  std::vector<std::int64_t> range_sizes = {2,    128,   512,  2048,
+                                           8192, 32768, 131072};
+  range_sizes.erase(
+      std::remove_if(range_sizes.begin(), range_sizes.end(),
+                     [&](std::int64_t s) { return s >= opt.size; }),
+      range_sizes.end());
+
+  if (opt.csv) {
+    std::printf(
+        "figure,structure,range_size,update_mops,range_mops,"
+        "range_items_per_us\n");
+  } else {
+    std::printf("\n=== Fig 10: %d update threads + %d range-query threads "
+                "===\n",
+                per_group, per_group);
+    std::printf("S=%lld, %.2fs x %d run(s)\n",
+                static_cast<long long>(opt.size), opt.duration, opt.runs);
+    std::printf("%-10s %10s | %-14s | %-14s | %s\n", "structure", "rangesz",
+                "updates op/us", "ranges op/us", "items/us (Fig 10a y-axis)");
+  }
+
+  const harness::Mix update_mix = harness::Mix::of_percent(100, 0, 0);
+  for_each_structure(opt.only, [&](auto tag) {
+    using S = typename decltype(tag)::type;
+    for (std::int64_t range_size : range_sizes) {
+      harness::Mix range_mix =
+          harness::Mix::of_percent(0, 0, 100, range_size, /*fixed=*/true);
+      const harness::RunResult r = measure<S>(
+          opt, {harness::ThreadGroup{per_group, update_mix},
+                harness::ThreadGroup{per_group, range_mix}});
+      const double update_mops = r.group_mops(0);
+      const double range_mops = r.group_mops(1);
+      const double items_per_us =
+          range_mops * static_cast<double>(range_size);
+      if (opt.csv) {
+        std::printf("fig10,%s,%lld,%.4f,%.6f,%.4f\n", tag.name,
+                    static_cast<long long>(range_size), update_mops,
+                    range_mops, items_per_us);
+      } else {
+        std::printf("%-10s %10lld | %14.4f | %14.6f | %10.3f\n", tag.name,
+                    static_cast<long long>(range_size), update_mops,
+                    range_mops, items_per_us);
+      }
+      std::fflush(stdout);
+    }
+  });
+  return 0;
+}

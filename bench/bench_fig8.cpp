@@ -1,0 +1,36 @@
+// Figure 8: single-item operations only (§7).
+//
+// Three scenarios ordered by increasing lookup share:
+//   (a) w:50% r:50%     — update heavy
+//   (b) w:20% r:80%     — read mostly
+//   (c) w:1%  r:99%     — read dominated (wait-free lookups shine)
+// All six structures, throughput vs. thread count.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cats;
+  using namespace cats::bench;
+  auto opt = harness::Options::parse(argc, argv);
+
+  struct Panel {
+    const char* figure;
+    const char* title;
+    unsigned w, r;
+  };
+  const Panel panels[] = {
+      {"fig8a", "Fig 8a: w:50% r:50%", 50, 50},
+      {"fig8b", "Fig 8b: w:20% r:80%", 20, 80},
+      {"fig8c", "Fig 8c: w:1% r:99%", 1, 99},
+  };
+
+  if (opt.csv) std::printf("figure,structure,threads,mops\n");
+  for (const Panel& panel : panels) {
+    const harness::Mix mix = harness::Mix::of_percent(panel.w, panel.r, 0);
+    print_sweep_header(panel.title, opt);
+    for_each_structure(opt.only, [&](auto tag) {
+      using S = typename decltype(tag)::type;
+      run_thread_sweep<S>(panel.figure, tag.name, opt, mix);
+    });
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 9: range queries mixed with single-item operations (§7).
+//
+// Scenario w:20% r:55% q:25% with increasing maximum range size:
+//   (a) R = 10      — small ranges, fine granularity wins
+//   (b) R = 1000    — medium ranges, adaptivity shines
+//   (c) R = 100000  — large ranges, coarse granularity competitive
+// All six structures, throughput vs. thread count.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cats;
+  using namespace cats::bench;
+  auto opt = harness::Options::parse(argc, argv);
+
+  struct Panel {
+    const char* figure;
+    const char* title;
+    std::int64_t range_max;
+  };
+  const Panel panels[] = {
+      {"fig9a", "Fig 9a: w:20% r:55% q:25%-10", 10},
+      {"fig9b", "Fig 9b: w:20% r:55% q:25%-1000", 1000},
+      {"fig9c", "Fig 9c: w:20% r:55% q:25%-100000",
+       std::min<std::int64_t>(100000, opt.size)},
+  };
+
+  if (opt.csv) std::printf("figure,structure,threads,mops\n");
+  for (const Panel& panel : panels) {
+    const harness::Mix mix =
+        harness::Mix::of_percent(20, 55, 25, panel.range_max);
+    print_sweep_header(panel.title, opt);
+    for_each_structure(opt.only, [&](auto tag) {
+      using S = typename decltype(tag)::type;
+      run_thread_sweep<S>(panel.figure, tag.name, opt, mix);
+    });
+  }
+  return 0;
+}

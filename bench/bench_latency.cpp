@@ -1,0 +1,102 @@
+// Lookup latency distribution under update churn (supplementary; supports
+// the paper's §1/§3 argument for the WAIT-FREE lookup).
+//
+// The lock-based CA tree's lookups are lock-free reads, but its updates
+// hold base-node locks, so a preempted lock holder stalls every conflicting
+// update — and with more threads than cores (the paper's >64-thread
+// region, Fig. 8c) those stalls show up in the tail of end-to-end
+// latencies.  The LFCA tree's lookup is wait-free: its tail depends only on
+// tree depth and the scheduler, never on another thread's progress.
+//
+// One measurement thread samples lookup latency while the remaining
+// threads run a 50% insert / 50% remove churn.  Reported: p50/p99/p99.9/max
+// in nanoseconds for every structure.
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cats;
+  using namespace cats::bench;
+  auto opt = harness::Options::parse(argc, argv);
+  const int churn_threads = std::max(1, opt.threads.back() - 1);
+  const int samples = static_cast<int>(opt.duration * opt.runs * 400'000);
+
+  if (opt.csv) {
+    std::printf("latency,structure,p50_ns,p99_ns,p999_ns,max_ns\n");
+  } else {
+    std::printf("\n=== Lookup latency under churn: %d churn threads, "
+                "S=%lld, %d samples ===\n",
+                churn_threads, static_cast<long long>(opt.size), samples);
+    std::printf("%-10s %10s %10s %10s %12s\n", "structure", "p50[ns]",
+                "p99[ns]", "p99.9[ns]", "max[ns]");
+  }
+
+  for_each_structure(opt.only, [&](auto tag) {
+    using S = typename decltype(tag)::type;
+    S structure;
+    harness::prefill(structure, opt.size);
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> churners;
+    for (int t = 0; t < churn_threads; ++t) {
+      churners.emplace_back([&, t] {
+        Xoshiro256 rng(t + 41);
+        while (!stop.load(std::memory_order_relaxed)) {
+          const Key k = rng.next_in(1, opt.size - 1);
+          if (rng.next_below(2) == 0) {
+            structure.insert(k, 1);
+          } else {
+            structure.remove(k);
+          }
+        }
+      });
+    }
+
+    std::vector<std::uint64_t> latencies;
+    latencies.reserve(samples);
+    Xoshiro256 rng(7);
+    for (int i = 0; i < samples; ++i) {
+      const Key k = rng.next_in(1, opt.size - 1);
+      const auto t0 = Clock::now();
+      Value v;
+      structure.lookup(k, &v);
+      const auto t1 = Clock::now();
+      latencies.push_back(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+              .count()));
+    }
+    stop.store(true);
+    for (auto& c : churners) c.join();
+
+    std::sort(latencies.begin(), latencies.end());
+    auto pct = [&](double p) {
+      return latencies[static_cast<std::size_t>(
+          p * static_cast<double>(latencies.size() - 1))];
+    };
+    if (opt.csv) {
+      std::printf("latency,%s,%llu,%llu,%llu,%llu\n", tag.name,
+                  static_cast<unsigned long long>(pct(0.50)),
+                  static_cast<unsigned long long>(pct(0.99)),
+                  static_cast<unsigned long long>(pct(0.999)),
+                  static_cast<unsigned long long>(latencies.back()));
+    } else {
+      std::printf("%-10s %10llu %10llu %10llu %12llu\n", tag.name,
+                  static_cast<unsigned long long>(pct(0.50)),
+                  static_cast<unsigned long long>(pct(0.99)),
+                  static_cast<unsigned long long>(pct(0.999)),
+                  static_cast<unsigned long long>(latencies.back()));
+    }
+    std::fflush(stdout);
+  });
+  return 0;
+}

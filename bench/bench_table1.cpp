@@ -1,0 +1,52 @@
+// Table 1: LFCA tree internals in the Fig. 9b scenario
+// (w:20% r:55% q:25%-1000) as a function of the thread count:
+// route-node count, traversed base nodes per range query, splits/ms and
+// joins/ms.  These are the paper's evidence that the heuristics work: more
+// threads => more base nodes; larger ranges => fewer.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cats;
+  using namespace cats::bench;
+  auto opt = harness::Options::parse(argc, argv);
+
+  const harness::Mix mix = harness::Mix::of_percent(20, 55, 25, 1000);
+
+  if (opt.csv) {
+    std::printf(
+        "table1,threads,route_nodes,traversed_per_query,splits_per_ms,"
+        "joins_per_ms,mops\n");
+  } else {
+    std::printf("\n=== Table 1: LFCA statistics, %s, S=%lld ===\n",
+                mix.describe().c_str(), static_cast<long long>(opt.size));
+    std::printf("%8s %12s %18s %12s %12s %10s\n", "threads", "routenodes",
+                "traversed/query", "splits/ms", "joins/ms", "op/us");
+  }
+
+  lfca::Config config;
+  config.high_cont = opt.high_cont;
+  config.low_cont = opt.low_cont;
+  config.cont_contrib = opt.cont_contrib;
+  for (int threads : opt.threads) {
+    lfca::LfcaTree tree(reclaim::Domain::global(), config);
+    harness::prefill(tree, opt.size);
+    tree.reset_stats();
+    const harness::RunResult r = harness::run_mix(
+        tree, threads, mix, opt.size, opt.duration * opt.runs);
+    const lfca::Stats s = tree.stats();
+    const double ms = r.seconds * 1000.0;
+    const double splits_ms = static_cast<double>(s.splits) / ms;
+    const double joins_ms = static_cast<double>(s.joins) / ms;
+    if (opt.csv) {
+      std::printf("table1,%d,%zu,%.2f,%.3f,%.3f,%.4f\n", threads,
+                  tree.route_node_count(), s.traversed_per_query(), splits_ms,
+                  joins_ms, r.throughput_mops());
+    } else {
+      std::printf("%8d %12zu %18.2f %12.3f %12.3f %10.3f\n", threads,
+                  tree.route_node_count(), s.traversed_per_query(), splits_ms,
+                  joins_ms, r.throughput_mops());
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Table 2: LFCA tree internals in the Fig. 10 scenario (half updates, half
+// fixed-size range queries) as a function of the range size: route-node
+// count, traversed base nodes per range query, splits/ms and joins/ms.
+// Larger ranges must drive the structure coarser (fewer route nodes, more
+// joins), the paper's key adaptivity evidence.
+#include <algorithm>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cats;
+  using namespace cats::bench;
+  auto opt = harness::Options::parse(argc, argv);
+
+  const int total = std::max(2, opt.threads.back());
+  const int per_group = std::max(1, total / 2);
+
+  std::vector<std::int64_t> range_sizes = {2,    128,   512,  2048,
+                                           8192, 32768, 131072};
+  range_sizes.erase(
+      std::remove_if(range_sizes.begin(), range_sizes.end(),
+                     [&](std::int64_t s) { return s >= opt.size; }),
+      range_sizes.end());
+
+  if (opt.csv) {
+    std::printf(
+        "table2,range_size,route_nodes,traversed_per_query,splits_per_ms,"
+        "joins_per_ms\n");
+  } else {
+    std::printf("\n=== Table 2: LFCA statistics, %d update + %d range "
+                "threads, S=%lld ===\n",
+                per_group, per_group, static_cast<long long>(opt.size));
+    std::printf("%10s %12s %18s %12s %12s\n", "rangesz", "routenodes",
+                "traversed/query", "splits/ms", "joins/ms");
+  }
+
+  const harness::Mix update_mix = harness::Mix::of_percent(100, 0, 0);
+  lfca::Config config;
+  config.high_cont = opt.high_cont;
+  config.low_cont = opt.low_cont;
+  config.cont_contrib = opt.cont_contrib;
+  for (std::int64_t range_size : range_sizes) {
+    lfca::LfcaTree tree(reclaim::Domain::global(), config);
+    harness::prefill(tree, opt.size);
+    tree.reset_stats();
+    harness::Mix range_mix =
+        harness::Mix::of_percent(0, 0, 100, range_size, /*fixed=*/true);
+    const harness::RunResult r = harness::run_mix(
+        tree,
+        {harness::ThreadGroup{per_group, update_mix},
+         harness::ThreadGroup{per_group, range_mix}},
+        opt.size, opt.duration * opt.runs);
+    const lfca::Stats s = tree.stats();
+    const double ms = r.seconds * 1000.0;
+    if (opt.csv) {
+      std::printf("table2,%lld,%zu,%.2f,%.3f,%.3f\n",
+                  static_cast<long long>(range_size), tree.route_node_count(),
+                  s.traversed_per_query(),
+                  static_cast<double>(s.splits) / ms,
+                  static_cast<double>(s.joins) / ms);
+    } else {
+      std::printf("%10lld %12zu %18.2f %12.3f %12.3f\n",
+                  static_cast<long long>(range_size), tree.route_node_count(),
+                  s.traversed_per_query(),
+                  static_cast<double>(s.splits) / ms,
+                  static_cast<double>(s.joins) / ms);
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Example: in-memory limit order book.
+//
+// Price levels are keys (price in ticks), the aggregated resting quantity
+// at each level is the value.  Market data handlers mutate levels
+// concurrently; trading strategies need *consistent* views of the top of
+// the book — top-N levels must come from one instant, or a strategy could
+// see a crossed book that never existed.  The LFCA tree's linearizable
+// range queries provide exactly that; its adaptivity handles the classic
+// order-book skew where a few levels near the touch are update-hot while
+// depth queries scan wide, cold ranges.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "lfca/lfca_tree.hpp"
+
+namespace {
+
+using namespace cats;
+
+// Bids and asks share one tree: asks at price p map to key p, bids to
+// key -p, so "best" is always the range end closest to zero.
+constexpr Key kMid = 10'000;  // initial mid price, in ticks
+
+struct TopOfBook {
+  Key best_bid = 0;
+  Key best_ask = 0;
+  Value bid_qty = 0;
+  Value ask_qty = 0;
+};
+
+}  // namespace
+
+int main() {
+  lfca::LfcaTree book;
+  Xoshiro256 setup_rng(7);
+
+  // Seed 500 levels on each side.
+  for (int i = 1; i <= 500; ++i) {
+    book.insert(kMid + i, 100 + setup_rng.next_below(900));   // asks
+    book.insert(-(kMid - i), 100 + setup_rng.next_below(900));  // bids
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> updates{0};
+  std::atomic<std::uint64_t> crossed_books{0};
+
+  // --- Market data: 3 feed handlers hammering levels near the touch. -------
+  std::vector<std::thread> feeds;
+  for (int f = 0; f < 3; ++f) {
+    feeds.emplace_back([&, f] {
+      Xoshiro256 rng(f + 11);
+      while (!stop.load(std::memory_order_relaxed)) {
+        // 80% of updates hit the 16 levels nearest the mid (hot zone).
+        const bool hot = rng.next_below(10) < 8;
+        const Key depth = hot ? rng.next_in(1, 16) : rng.next_in(17, 500);
+        const bool ask_side = rng.next_below(2) == 0;
+        const Key level = ask_side ? kMid + depth : -(kMid - depth);
+        if (rng.next_below(10) == 0) {
+          book.remove(level);  // level wiped
+        } else {
+          book.insert(level, 100 + rng.next_below(900));  // quantity update
+        }
+        updates.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // --- Strategy: consistent top-of-book + 10-level depth snapshots. --------
+  std::thread strategy([&] {
+    for (int i = 0; i < 20'000; ++i) {
+      TopOfBook top;
+      // Best ask = smallest key > 0; best bid = largest key < 0.  One range
+      // query per side gives a consistent ladder.
+      int seen = 0;
+      book.range_query(kMid - 600, kMid + 600, [&](Key k, Value q) {
+        if (seen++ == 0) {
+          top.best_ask = k;
+          top.ask_qty = q;
+        }
+      });
+      seen = 0;
+      Key last_key = 0;
+      Value last_qty = 0;
+      book.range_query(-(kMid + 600), -(kMid - 600), [&](Key k, Value q) {
+        last_key = k;
+        last_qty = q;
+        ++seen;
+      });
+      if (seen > 0) {
+        top.best_bid = -last_key;
+        top.bid_qty = last_qty;
+      }
+      if (top.best_ask != 0 && top.best_bid != 0 &&
+          top.best_bid >= top.best_ask) {
+        // Would indicate a torn (non-atomic) snapshot: bids and asks are
+        // maintained so they never cross.
+        crossed_books.fetch_add(1);
+      }
+      if (i % 5000 == 0) {
+        std::printf("[strategy] best bid %lld x %llu | best ask %lld x %llu\n",
+                    static_cast<long long>(top.best_bid),
+                    static_cast<unsigned long long>(top.bid_qty),
+                    static_cast<long long>(top.best_ask),
+                    static_cast<unsigned long long>(top.ask_qty));
+      }
+    }
+  });
+
+  // --- Risk: periodic full-depth valuation over the whole book. -----------
+  std::thread risk([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      unsigned long long notional = 0;
+      std::size_t levels = 0;
+      book.range_query(kKeyMin + 1, kKeyMax - 1, [&](Key k, Value q) {
+        notional += static_cast<unsigned long long>(k < 0 ? -k : k) * q;
+        ++levels;
+      });
+      (void)notional;
+      (void)levels;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  strategy.join();
+  stop.store(true);
+  for (auto& f : feeds) f.join();
+  risk.join();
+
+  std::printf("\n%llu market-data updates processed\n",
+              static_cast<unsigned long long>(updates.load()));
+  std::printf("crossed-book observations (must be 0): %llu\n",
+              static_cast<unsigned long long>(crossed_books.load()));
+  std::printf("book levels now: %zu, route nodes: %zu\n", book.size(),
+              book.route_node_count());
+  return crossed_books.load() == 0 ? 0 : 1;
+}

@@ -1,0 +1,88 @@
+// Immutable sorted-array container ("chunk").
+//
+// The alternative leaf container discussed in the paper's §3: the k-ary
+// search tree and the Leaplist keep their items in immutable ARRAYS, which
+// makes scans as cache friendly as possible but costs O(n) per update (the
+// whole array is copied).  The paper points out that this is exactly why
+// those structures degrade when their granularity parameter is set high —
+// and the LFCA tree's "Flexible" property says any container with this
+// interface can be plugged in.  This module provides the array variant so
+// the flexibility claim is exercised end to end (see BasicLfcaTree and
+// bench_ablation).
+//
+// Complexity (n items): lookup O(log n); insert/remove/join/split O(n);
+// for_range O(log n + k).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "common/function_ref.hpp"
+#include "common/types.hpp"
+
+namespace cats::chunk {
+
+struct Node;  // opaque; defined in chunk.cpp
+
+namespace detail {
+void incref(const Node* node) noexcept;
+void decref(const Node* node) noexcept;
+}  // namespace detail
+
+/// Shared-ownership handle; default-constructed = empty container.
+class Ref {
+ public:
+  Ref() noexcept = default;
+  static Ref adopt(const Node* node) noexcept {
+    Ref ref;
+    ref.node_ = node;
+    return ref;
+  }
+  Ref(const Ref& other) noexcept : node_(other.node_) {
+    if (node_ != nullptr) detail::incref(node_);
+  }
+  Ref(Ref&& other) noexcept : node_(std::exchange(other.node_, nullptr)) {}
+  Ref& operator=(const Ref& other) noexcept {
+    Ref copy(other);
+    swap(copy);
+    return *this;
+  }
+  Ref& operator=(Ref&& other) noexcept {
+    Ref moved(std::move(other));
+    swap(moved);
+    return *this;
+  }
+  ~Ref() {
+    if (node_ != nullptr) detail::decref(node_);
+  }
+  void swap(Ref& other) noexcept { std::swap(node_, other.node_); }
+  const Node* get() const noexcept { return node_; }
+  explicit operator bool() const noexcept { return node_ != nullptr; }
+  const Node* release() noexcept { return std::exchange(node_, nullptr); }
+
+ private:
+  const Node* node_ = nullptr;
+};
+
+bool lookup(const Node* chunk, Key key, Value* value_out);
+std::size_t size(const Node* chunk);
+bool empty(const Node* chunk);
+bool less_than_two_items(const Node* chunk);
+Key min_key(const Node* chunk);
+Key max_key(const Node* chunk);
+void for_range(const Node* chunk, Key lo, Key hi, ItemVisitor visit);
+void for_all(const Node* chunk, ItemVisitor visit);
+
+Ref insert(const Node* chunk, Key key, Value value,
+           bool* replaced_out = nullptr);
+Ref remove(const Node* chunk, Key key, bool* removed_out = nullptr);
+Ref join(const Node* left, const Node* right);
+void split_evenly(const Node* chunk, Ref* left_out, Ref* right_out,
+                  Key* split_key_out);
+
+/// Structural checks for tests (sorted, unique, cached bounds).
+bool check_invariants(const Node* chunk);
+std::size_t live_nodes();
+
+}  // namespace cats::chunk

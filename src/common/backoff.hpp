@@ -1,0 +1,44 @@
+// Bounded exponential backoff for CAS retry loops.
+//
+// On a failed CAS the losing thread re-reads a line another core just wrote;
+// retrying immediately causes a coherence storm.  Spinning a short,
+// exponentially growing number of pause instructions drains the storm while
+// keeping the loop lock-free (the bound is finite and small).
+#pragma once
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace cats {
+
+/// Emit one CPU relax hint (x86 `pause`, otherwise a compiler barrier).
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Exponential backoff capped at `kMaxSpins` pause instructions per round.
+class Backoff {
+ public:
+  void spin() noexcept {
+    for (std::uint32_t i = 0; i < current_; ++i) cpu_relax();
+    if (current_ < kMaxSpins) current_ *= 2;
+  }
+
+  void reset() noexcept { current_ = kMinSpins; }
+
+ private:
+  static constexpr std::uint32_t kMinSpins = 4;
+  static constexpr std::uint32_t kMaxSpins = 1024;
+  std::uint32_t current_ = kMinSpins;
+};
+
+}  // namespace cats

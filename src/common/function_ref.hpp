@@ -1,0 +1,56 @@
+// Non-owning type-erased callable reference (a minimal std::function_ref).
+//
+// Range queries hand each item in the range to a caller-supplied visitor.
+// Templating every container on the visitor type would force the whole
+// algorithm into headers; std::function allocates.  FunctionRef erases the
+// callable into two words and is safe here because visitors never outlive
+// the call that supplies them.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace cats {
+
+template <class Signature>
+class FunctionRef;
+
+template <class R, class... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <class F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+             std::is_invocable_r_v<R, F&, Args...>)
+  FunctionRef(F&& f) noexcept {  // NOLINT: implicit by design, mirrors P0792
+    if constexpr (std::is_function_v<std::remove_reference_t<F>>) {
+      // Plain functions: store the function pointer itself (a data-pointer
+      // round trip for function pointers is fine on all targets we build).
+      object_ = reinterpret_cast<void*>(&f);
+      invoke_ = [](void* object, Args... args) -> R {
+        return reinterpret_cast<std::remove_reference_t<F>*>(object)(
+            std::forward<Args>(args)...);
+      };
+    } else {
+      object_ = const_cast<void*>(static_cast<const void*>(&f));
+      invoke_ = [](void* object, Args... args) -> R {
+        return (*static_cast<std::remove_reference_t<F>*>(object))(
+            std::forward<Args>(args)...);
+      };
+    }
+  }
+
+  R operator()(Args... args) const {
+    return invoke_(object_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* object_;
+  R (*invoke_)(void*, Args...);
+};
+
+/// Visitor signature shared by all range-query implementations.
+using ItemVisitor = FunctionRef<void(Key, Value)>;
+
+}  // namespace cats

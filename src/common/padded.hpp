@@ -1,0 +1,30 @@
+// Cache-line padding helpers.
+//
+// Per-thread counters and flags that live in arrays must not share cache
+// lines, or the coherence traffic from one thread's increments slows every
+// other thread (false sharing).  `Padded<T>` rounds each element up to a
+// multiple of the destructive interference size.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace cats {
+
+// Fixed rather than std::hardware_destructive_interference_size: the value
+// feeds alignas() in headers, and letting it vary with -mtune would make the
+// ABI depend on compiler flags (GCC warns about exactly this).
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Wraps T so that consecutive array elements occupy distinct cache lines.
+template <class T>
+struct alignas(kCacheLine) Padded {
+  T value{};
+
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+};
+
+}  // namespace cats

@@ -1,0 +1,79 @@
+// Small, fast pseudo-random number generators for workload generation and
+// randomized algorithms.
+//
+// Benchmark threads draw millions of keys per second; std::mt19937_64 is
+// unnecessarily heavy for that inner loop.  xoshiro256** (Blackman & Vigna)
+// passes BigCrush, has a 2^256-1 period and costs a handful of cycles per
+// draw.  SplitMix64 is used for seeding and for deterministic hash-derived
+// priorities.
+#pragma once
+
+#include <cstdint>
+
+namespace cats {
+
+/// SplitMix64 step: returns a well-mixed 64-bit output and advances `state`.
+/// Also usable as a strong integer hash by passing the value to mix.
+inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Stateless strong mixing of a 64-bit value (Stafford variant 13).
+inline std::uint64_t mix64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** generator.  Not thread safe; give each thread its own
+/// instance seeded with a distinct seed.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed = 0x853c49e6748fea9bull) noexcept {
+    // SplitMix64 expansion as recommended by the xoshiro authors: never
+    // seed the state with all zeroes.
+    for (auto& word : state_) word = splitmix64(seed);
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform draw in [0, bound).  Uses the 128-bit multiply trick (Lemire)
+  /// which avoids the modulo and is bias-free enough for workload generation.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform draw in [lo, hi] (inclusive).
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli draw: true with probability `permille`/1000.
+  bool chance_permille(std::uint32_t permille) noexcept {
+    return next_below(1000) < permille;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace cats

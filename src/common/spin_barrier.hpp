@@ -1,0 +1,43 @@
+// Sense-reversing spin barrier used to start benchmark threads simultaneously.
+//
+// std::barrier parks threads in the kernel; for throughput measurements we
+// want every thread to leave the barrier within a few cycles of each other,
+// so the benchmark harness spins instead.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+#include "common/backoff.hpp"
+
+namespace cats {
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(std::size_t parties) noexcept
+      : parties_(parties), remaining_(parties) {}
+
+  SpinBarrier(const SpinBarrier&) = delete;
+  SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+  /// Blocks (spinning) until `parties` threads have arrived.
+  void arrive_and_wait() noexcept {
+    const bool my_sense = !sense_.load(std::memory_order_relaxed);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      remaining_.store(parties_, std::memory_order_relaxed);
+      sense_.store(my_sense, std::memory_order_release);
+    } else {
+      Backoff backoff;
+      while (sense_.load(std::memory_order_acquire) != my_sense) {
+        backoff.spin();
+      }
+    }
+  }
+
+ private:
+  const std::size_t parties_;
+  std::atomic<std::size_t> remaining_;
+  std::atomic<bool> sense_{false};
+};
+
+}  // namespace cats

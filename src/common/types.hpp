@@ -1,0 +1,36 @@
+// Fundamental key/value types shared by every data structure in this
+// repository.
+//
+// The paper describes sets of integer keys and notes that sets "can trivially
+// be modified to become key-value stores".  We build the key-value variant
+// directly: every container in this repository maps a signed 64-bit key to an
+// unsigned 64-bit value (large enough for a pointer or an inline payload).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace cats {
+
+/// Key type used by all ordered maps in this repository.
+using Key = std::int64_t;
+
+/// Value payload type.  Wide enough to hold a pointer to an external object.
+using Value = std::uint64_t;
+
+/// Smallest representable key.  Range queries over [kKeyMin, kKeyMax] cover
+/// the whole container.
+inline constexpr Key kKeyMin = std::numeric_limits<Key>::min();
+
+/// Largest representable key.
+inline constexpr Key kKeyMax = std::numeric_limits<Key>::max();
+
+/// A single key/value pair as stored in leaf containers.
+struct Item {
+  Key key;
+  Value value;
+
+  friend bool operator==(const Item&, const Item&) = default;
+};
+
+}  // namespace cats

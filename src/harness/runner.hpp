@@ -1,0 +1,141 @@
+// Multi-threaded throughput measurement engine.
+//
+// Mirrors the paper's benchmark driver (§7): N threads execute a random
+// operation mix against one shared structure for a fixed wall-clock
+// duration after a pre-fill phase; throughput is reported in operations per
+// microsecond.  Thread groups may run different mixes (Fig. 10).  Range
+// queries compute the sum and count of the items in the range, and the
+// harness tracks the average traversed items per query as the paper's
+// sanity check.
+//
+// Works with any structure exposing the shared interface:
+//   bool insert(Key, Value); bool remove(Key);
+//   bool lookup(Key, Value*); void range_query(Key, Key, ItemVisitor).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/padded.hpp"
+#include "common/rng.hpp"
+#include "common/spin_barrier.hpp"
+#include "common/types.hpp"
+#include "harness/workload.hpp"
+
+namespace cats::harness {
+
+/// Inserts random keys from [0, key_range) until the structure holds
+/// exactly key_range/2 items (the paper's pre-fill).
+template <class S>
+void prefill(S& structure, Key key_range, std::uint64_t seed = 0xfeedbeef) {
+  Xoshiro256 rng(seed);
+  std::int64_t inserted = 0;
+  const std::int64_t target = key_range / 2;
+  while (inserted < target) {
+    const Key k = rng.next_in(1, key_range - 1);
+    if (structure.insert(k, static_cast<Value>(k) + 1)) ++inserted;
+  }
+}
+
+namespace detail {
+
+struct alignas(kCacheLine) ThreadCounters {
+  std::uint64_t ops = 0;
+  std::uint64_t range_queries = 0;
+  std::uint64_t range_items = 0;
+};
+
+}  // namespace detail
+
+/// Runs the groups' mixes for `duration_seconds` against `structure`
+/// (already pre-filled) and returns the aggregated counts.
+template <class S>
+RunResult run_mix(S& structure, const std::vector<ThreadGroup>& groups,
+                  Key key_range, double duration_seconds,
+                  std::uint64_t seed = 1) {
+  int total_threads = 0;
+  for (const auto& group : groups) total_threads += group.threads;
+
+  std::vector<detail::ThreadCounters> counters(total_threads);
+  std::vector<int> group_of(total_threads);
+  std::vector<std::thread> threads;
+  SpinBarrier barrier(total_threads + 1);
+  std::atomic<bool> stop{false};
+
+  int thread_index = 0;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (int i = 0; i < groups[g].threads; ++i, ++thread_index) {
+      group_of[thread_index] = static_cast<int>(g);
+      threads.emplace_back([&, thread_index, g] {
+        const Mix mix = groups[g].mix;
+        Xoshiro256 rng(seed * 7919 + thread_index);
+        auto& my = counters[thread_index];
+        barrier.arrive_and_wait();
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::uint64_t dice = rng.next_below(1000);
+          const Key k = rng.next_in(1, key_range - 1);
+          if (dice < mix.update_permille) {
+            if ((dice & 1) == 0) {
+              structure.insert(k, static_cast<Value>(k) + 1);
+            } else {
+              structure.remove(k);
+            }
+          } else if (dice < mix.update_permille + mix.lookup_permille) {
+            Value v;
+            structure.lookup(k, &v);
+          } else {
+            const std::int64_t span =
+                mix.fixed_range_size
+                    ? mix.range_max
+                    : static_cast<std::int64_t>(
+                          rng.next_below(
+                              static_cast<std::uint64_t>(mix.range_max))) +
+                          1;
+            std::uint64_t sum = 0;
+            std::uint64_t items = 0;
+            structure.range_query(k, k + span - 1, [&](Key key, Value value) {
+              sum += static_cast<std::uint64_t>(key) + value;
+              ++items;
+            });
+            // Keep the sum alive so the scan cannot be optimized away.
+            if (sum == 0xdeadbeefdeadbeefull) std::abort();
+            my.range_items += items;
+            ++my.range_queries;
+          }
+          ++my.ops;
+        }
+      });
+    }
+  }
+
+  barrier.arrive_and_wait();
+  const auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(duration_seconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  RunResult result;
+  result.seconds = std::chrono::duration<double>(end - start).count();
+  for (int t = 0; t < total_threads; ++t) {
+    result.total_ops += counters[t].ops;
+    result.group_ops[group_of[t]] += counters[t].ops;
+    result.range_queries += counters[t].range_queries;
+    result.range_items += counters[t].range_items;
+  }
+  return result;
+}
+
+/// Convenience: single uniform group of `threads` threads.
+template <class S>
+RunResult run_mix(S& structure, int threads, const Mix& mix, Key key_range,
+                  double duration_seconds, std::uint64_t seed = 1) {
+  return run_mix(structure, std::vector<ThreadGroup>{{threads, mix}},
+                 key_range, duration_seconds, seed);
+}
+
+}  // namespace cats::harness

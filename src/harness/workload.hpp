@@ -1,0 +1,75 @@
+// Workload specification for the paper's benchmarks (§7).
+//
+// Scenarios are strings of the form  w:A% r:B% q:C%-R  meaning (A/2)%
+// insert, (A/2)% remove, B% lookup and C% range queries whose sizes are
+// uniform in [1, R].  Keys are uniform in [0, S); structures are pre-filled
+// with S/2 random keys before measuring.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace cats::harness {
+
+struct Mix {
+  /// Updates (insert + remove, split evenly), in permille of operations.
+  std::uint32_t update_permille = 0;
+  /// Lookups, in permille.
+  std::uint32_t lookup_permille = 0;
+  /// Range queries, in permille (the remainder must sum to 1000).
+  std::uint32_t range_permille = 0;
+  /// Maximum range-query span; sizes are uniform in [1, range_max].
+  std::int64_t range_max = 0;
+  /// If true, every range query spans exactly `range_max` keys (Fig. 10).
+  bool fixed_range_size = false;
+
+  /// Paper-style constructor from percentages: w:A% r:B% q:C%-R.
+  static Mix of_percent(unsigned w, unsigned r, unsigned q,
+                        std::int64_t range = 0, bool fixed = false) {
+    return Mix{w * 10, r * 10, q * 10, range, fixed};
+  }
+
+  std::string describe() const {
+    std::string s = "w:" + std::to_string(update_permille / 10) +
+                    "% r:" + std::to_string(lookup_permille / 10) +
+                    "% q:" + std::to_string(range_permille / 10) + "%";
+    if (range_permille > 0) {
+      s += "-" + std::to_string(range_max);
+      if (fixed_range_size) s += " (fixed)";
+    }
+    return s;
+  }
+};
+
+/// A group of threads running one mix (Fig. 10 uses two groups).
+struct ThreadGroup {
+  int threads = 0;
+  Mix mix;
+};
+
+struct RunResult {
+  double seconds = 0;
+  /// Completed operations per thread group, in group order.
+  std::uint64_t group_ops[4] = {0, 0, 0, 0};
+  std::uint64_t total_ops = 0;
+  std::uint64_t range_queries = 0;
+  std::uint64_t range_items = 0;
+
+  double throughput_mops() const {
+    return seconds > 0 ? static_cast<double>(total_ops) / seconds / 1e6 : 0;
+  }
+  double group_mops(int group) const {
+    return seconds > 0 ? static_cast<double>(group_ops[group]) / seconds / 1e6
+                       : 0;
+  }
+  /// Sanity statistic from the paper: average items traversed per query.
+  double items_per_range_query() const {
+    return range_queries > 0 ? static_cast<double>(range_items) /
+                                   static_cast<double>(range_queries)
+                             : 0;
+  }
+};
+
+}  // namespace cats::harness

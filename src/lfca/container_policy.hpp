@@ -1,0 +1,86 @@
+// Leaf-container policies for BasicLfcaTree — the paper's "Flexible"
+// property (§1): "Performance characteristics of an LFCA tree can be
+// changed by providing a different set implementation."
+//
+// A policy supplies an immutable, reference-counted ordered container with
+// O(log n)-or-better lookup and persistent insert/remove/join/split.  Two
+// policies are provided:
+//
+//   TreapContainer — the paper's choice: balanced fat-leaf tree, O(log n)
+//                    updates and splits/joins (src/treap).
+//   ChunkContainer — a flat immutable sorted array as used by the k-ary
+//                    tree and the Leaplist: O(n) updates, unbeatable scan
+//                    locality (src/chunk).  §3 explains why this degrades
+//                    when base nodes grow — bench_ablation measures it.
+#pragma once
+
+#include "chunk/chunk.hpp"
+#include "common/function_ref.hpp"
+#include "common/types.hpp"
+#include "treap/treap.hpp"
+
+namespace cats::lfca {
+
+struct TreapContainer {
+  using Node = treap::Node;
+  using Ref = treap::Ref;
+  static constexpr const char* kName = "treap";
+
+  static void incref(const Node* n) { treap::detail::incref(n); }
+  static void decref(const Node* n) { treap::detail::decref(n); }
+  static Ref insert(const Node* t, Key k, Value v, bool* replaced) {
+    return treap::insert(t, k, v, replaced);
+  }
+  static Ref remove(const Node* t, Key k, bool* removed) {
+    return treap::remove(t, k, removed);
+  }
+  static bool lookup(const Node* t, Key k, Value* v) {
+    return treap::lookup(t, k, v);
+  }
+  static Ref join(const Node* l, const Node* r) { return treap::join(l, r); }
+  static void split_evenly(const Node* t, Ref* l, Ref* r, Key* pivot) {
+    treap::split_evenly(t, l, r, pivot);
+  }
+  static void for_range(const Node* t, Key lo, Key hi, ItemVisitor visit) {
+    treap::for_range(t, lo, hi, visit);
+  }
+  static bool empty(const Node* t) { return treap::empty(t); }
+  static bool less_than_two_items(const Node* t) {
+    return treap::less_than_two_items(t);
+  }
+  static Key max_key(const Node* t) { return treap::max_key(t); }
+  static std::size_t size(const Node* t) { return treap::size(t); }
+};
+
+struct ChunkContainer {
+  using Node = chunk::Node;
+  using Ref = chunk::Ref;
+  static constexpr const char* kName = "chunk";
+
+  static void incref(const Node* n) { chunk::detail::incref(n); }
+  static void decref(const Node* n) { chunk::detail::decref(n); }
+  static Ref insert(const Node* t, Key k, Value v, bool* replaced) {
+    return chunk::insert(t, k, v, replaced);
+  }
+  static Ref remove(const Node* t, Key k, bool* removed) {
+    return chunk::remove(t, k, removed);
+  }
+  static bool lookup(const Node* t, Key k, Value* v) {
+    return chunk::lookup(t, k, v);
+  }
+  static Ref join(const Node* l, const Node* r) { return chunk::join(l, r); }
+  static void split_evenly(const Node* t, Ref* l, Ref* r, Key* pivot) {
+    chunk::split_evenly(t, l, r, pivot);
+  }
+  static void for_range(const Node* t, Key lo, Key hi, ItemVisitor visit) {
+    chunk::for_range(t, lo, hi, visit);
+  }
+  static bool empty(const Node* t) { return chunk::empty(t); }
+  static bool less_than_two_items(const Node* t) {
+    return chunk::less_than_two_items(t);
+  }
+  static Key max_key(const Node* t) { return chunk::max_key(t); }
+  static std::size_t size(const Node* t) { return chunk::size(t); }
+};
+
+}  // namespace cats::lfca

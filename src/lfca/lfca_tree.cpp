@@ -1,0 +1,12 @@
+// Explicit instantiations of BasicLfcaTree for the supported leaf-container
+// policies.  The implementation lives in lfca_tree_impl.hpp; translation
+// units using the tree only see the extern-template declarations in
+// lfca_tree.hpp and link against this object file.
+#include "lfca/lfca_tree_impl.hpp"
+
+namespace cats::lfca {
+
+template class BasicLfcaTree<TreapContainer>;
+template class BasicLfcaTree<ChunkContainer>;
+
+}  // namespace cats::lfca

@@ -1,0 +1,164 @@
+// BasicLfcaTree — the lock-free contention adapting search tree.
+//
+// The primary data structure of Winblad, Sagonas & Jonsson, "Lock-free
+// Contention Adapting Search Trees" (SPAA 2018).  An ordered key-value map
+// with:
+//
+//   * wait-free lookup,
+//   * lock-free insert, remove and linearizable range query,
+//   * runtime adaptation of synchronization granularity: base nodes split
+//     under contention and join when contention is low or range queries
+//     repeatedly span several base nodes.
+//
+// Internally, route nodes form a binary search tree whose leaves (base
+// nodes) hold immutable containers supplied by the policy `C` — the paper's
+// "Flexible" property (container_policy.hpp provides the paper's fat-leaf
+// treap and a flat-array alternative).  Updates replace a base node with
+// CAS; range queries replace every base node in their span with
+// `range_base` markers that other threads can help complete (or first try
+// a read-only double-collect scan, §6).  Unlinked nodes are reclaimed
+// through epoch-based reclamation (src/reclaim).
+//
+// `LfcaTree` is the paper's configuration (treap containers).
+//
+// Thread safety: all public member functions may be called concurrently
+// from any number of threads.  Item visitors run inside an epoch critical
+// section and must not call back into functions that block.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "common/function_ref.hpp"
+#include "common/padded.hpp"
+#include "common/types.hpp"
+#include "lfca/config.hpp"
+#include "lfca/container_policy.hpp"
+#include "lfca/node.hpp"
+#include "lfca/stats.hpp"
+#include "reclaim/ebr.hpp"
+
+namespace cats::lfca {
+
+template <class C>
+class BasicLfcaTree {
+ public:
+  using Container = C;
+
+  explicit BasicLfcaTree(reclaim::Domain& domain = reclaim::Domain::global(),
+                         const Config& config = Config());
+  ~BasicLfcaTree();
+
+  BasicLfcaTree(const BasicLfcaTree&) = delete;
+  BasicLfcaTree& operator=(const BasicLfcaTree&) = delete;
+
+  /// Inserts (key, value), replacing the value if the key exists.
+  /// Returns true iff the key was not present before (lock-free).
+  bool insert(Key key, Value value);
+
+  /// Removes the item with `key` if present; returns true iff it was
+  /// present (lock-free).
+  bool remove(Key key);
+
+  /// Returns true iff `key` is present; writes its value through
+  /// `value_out` when non-null (wait-free).
+  bool lookup(Key key, Value* value_out = nullptr) const;
+
+  /// Visits every item with lo <= key <= hi in ascending key order, as one
+  /// linearizable snapshot (lock-free).
+  void range_query(Key lo, Key hi, ItemVisitor visit) const;
+
+  /// Number of items (walks the whole tree; linearizable only in
+  /// quiescence).
+  std::size_t size() const;
+
+  /// Number of route nodes (Tables 1 & 2).  Racy walk; exact in quiescence.
+  std::size_t route_node_count() const;
+
+  /// Verifies structural invariants (route-key ordering vs. container key
+  /// ranges, container invariants are the policy's own concern).  Intended
+  /// for tests, in quiescence.
+  bool check_integrity() const;
+
+  /// Maintenance/testing extension (not in the paper): forces a
+  /// high-contention adaptation of the base node covering `hint`,
+  /// regardless of its statistics.  Useful to pre-shard a tree for a known
+  /// access pattern and to build structure deterministically in tests.
+  /// Returns true iff a split was installed.
+  bool force_split(Key hint);
+  /// Counterpart: forces a low-contention adaptation (join) of the base
+  /// node covering `hint`.  Returns true iff the join completed.
+  bool force_join(Key hint);
+
+  /// Snapshot of the operation counters.
+  Stats stats() const;
+  /// Resets the operation counters (not the tree).
+  void reset_stats();
+
+  const Config& config() const { return config_; }
+  reclaim::Domain& domain() const { return domain_; }
+
+ private:
+  using Node = detail::Node<C>;
+  using NodeType = detail::NodeType;
+  using ResultStorage = detail::ResultStorage<C>;
+
+  enum class ContentionInfo { kContended, kUncontended, kNoInfo };
+
+  // --- help functions (paper Fig. 3/4) -----------------------------------
+  bool try_replace(Node* b, Node* new_b);
+  static bool is_replaceable(const Node* n);
+  void help_if_needed(Node* n);
+  int new_stat(const Node* n, ContentionInfo info) const;
+  void adapt_if_needed(Node* b);
+
+  // --- single-item operations (paper Fig. 4) -----------------------------
+  enum class UpdateKind { kInsert, kRemove };
+  bool do_update(UpdateKind kind, Key key, Value value);
+  Node* find_base_node(Key key) const;
+
+  // --- range queries (paper Fig. 5 and §6) --------------------------------
+  const typename C::Node* all_in_range(Key lo, Key hi, ResultStorage* help_s);
+  Node* find_base_stack(Key key, std::vector<Node*>& stack) const;
+  static Node* leftmost_and_stack(Node* n, std::vector<Node*>& stack);
+  static Node* find_next_base_stack(std::vector<Node*>& stack);
+  /// Read-only double-collect scan; on success fills `bases` with a
+  /// consistent cut of base nodes covering [lo, hi] and returns true.
+  bool try_optimistic_collect(Key lo, Key hi,
+                              std::vector<Node*>& bases) const;
+
+  // --- adaptations (paper Fig. 7) -----------------------------------------
+  bool high_contention_adaptation(Node* b);
+  bool low_contention_adaptation(Node* b);
+  Node* secure_join(Node* b, bool left_child);
+  void complete_join(Node* m);
+  Node* parent_of(Node* r) const;
+
+  void retire(Node* n);
+  void count_range_query(std::size_t bases_traversed) const;
+
+  reclaim::Domain& domain_;
+  const Config config_;
+  std::atomic<Node*> root_;
+
+  // Statistics counters (relaxed; each on its own cache line).
+  mutable Padded<std::atomic<std::uint64_t>> splits_;
+  mutable Padded<std::atomic<std::uint64_t>> joins_;
+  mutable Padded<std::atomic<std::uint64_t>> aborted_joins_;
+  mutable Padded<std::atomic<std::uint64_t>> range_queries_;
+  mutable Padded<std::atomic<std::uint64_t>> range_bases_traversed_;
+  mutable Padded<std::atomic<std::uint64_t>> optimistic_ranges_;
+  mutable Padded<std::atomic<std::uint64_t>> fallback_ranges_;
+  mutable Padded<std::atomic<std::uint64_t>> helps_;
+};
+
+/// The paper's configuration: fat-leaf treap leaf containers.
+using LfcaTree = BasicLfcaTree<TreapContainer>;
+/// The flat-array variant (k-ary/Leaplist-style containers, §3).
+using LfcaTreeChunk = BasicLfcaTree<ChunkContainer>;
+
+extern template class BasicLfcaTree<TreapContainer>;
+extern template class BasicLfcaTree<ChunkContainer>;
+
+}  // namespace cats::lfca

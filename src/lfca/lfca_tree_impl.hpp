@@ -1,0 +1,840 @@
+// Implementation of BasicLfcaTree.  Included only by lfca_tree.cpp, which
+// explicitly instantiates the supported container policies — keep it out of
+// other translation units.
+//
+// Function and variable names follow the paper's pseudo-code (Figs. 3-5 and
+// 7); comments cite the corresponding line numbers.  Differences from the
+// pseudo-code:
+//
+//  * Memory reclamation is explicit: the thread whose CAS unlinks a node
+//    retires it through the EBR domain (the Java original relies on GC),
+//    and join_main nodes carry a reference count because reachable
+//    join_neighbor nodes point at them indefinitely (see node.hpp).
+//  * `new_stat` with no contention info subtracts RANGE_CONTRIB for
+//    multi-base range queries, following the paper's prose (§4
+//    "Adaptations") rather than the pseudo-code's bare `return n->stat`,
+//    which would make line 213's adaptation call a no-op for range-driven
+//    joins.
+//  * The §6 optimistic range query updates the statistics of one random
+//    traversed base node in place (a relaxed fetch_sub) when it spanned
+//    more than one base node.  The published algorithm only feeds range
+//    information into the statistics when range_base nodes are later
+//    replaced by updates; with the read-only fast path those nodes never
+//    exist, so without this nudge a range-dominated workload would never
+//    trigger joins.  Statistics are heuristic only, so the in-place update
+//    cannot affect correctness.
+#pragma once
+
+#include <cassert>
+
+#include "common/rng.hpp"
+#include "lfca/lfca_tree.hpp"
+
+namespace cats::lfca {
+
+namespace detail {
+
+/// Per-thread generator for the random adaptation probe (paper line 213).
+inline Xoshiro256& thread_rng() {
+  thread_local Xoshiro256 rng(mix64(reinterpret_cast<std::uintptr_t>(&rng)));
+  return rng;
+}
+
+template <class C>
+Node<C>* extreme_base(Node<C>* n, bool leftmost,
+                      std::vector<Node<C>*>* stack) {
+  while (n->type == NodeType::kRoute) {
+    if (stack != nullptr) stack->push_back(n);
+    n = (leftmost ? n->left : n->right).load(std::memory_order_acquire);
+  }
+  if (stack != nullptr) stack->push_back(n);
+  return n;
+}
+
+template <class C>
+void destroy_reachable(Node<C>* n) {
+  if (!is_real<C>(n)) return;
+  if (n->type == NodeType::kRoute) {
+    destroy_reachable<C>(n->left.load(std::memory_order_relaxed));
+    destroy_reachable<C>(n->right.load(std::memory_order_relaxed));
+    delete n;
+  } else if (n->type == NodeType::kJoinMain) {
+    // Drop the tree-slot reference; a retired-but-unfreed join_neighbor may
+    // still hold one, in which case its deleter frees n later.
+    release_join_main<C>(n);
+  } else {
+    delete n;
+  }
+}
+
+template <class C>
+Node<C>* new_range_base(Node<C>* b, Key lo, Key hi,
+                        ResultStorage<C>* storage) {
+  auto* n = new Node<C>(NodeType::kRange);
+  n->parent = b->parent;
+  n->data = b->data;
+  if (n->data != nullptr) C::incref(n->data);
+  n->stat.store(b->stat.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  n->lo = lo;
+  n->hi = hi;
+  storage->add_ref();
+  n->storage = storage;
+  return n;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Construction / destruction.
+// ---------------------------------------------------------------------------
+
+template <class C>
+BasicLfcaTree<C>::BasicLfcaTree(reclaim::Domain& domain, const Config& config)
+    : domain_(domain), config_(config) {
+  auto* base = new Node(NodeType::kNormal);  // empty root base node
+  root_.store(base, std::memory_order_release);
+}
+
+template <class C>
+BasicLfcaTree<C>::~BasicLfcaTree() {
+  // Precondition: quiescent.  Joins always finish phase 2 before their
+  // initiating operation returns, so no node reachable here is duplicated
+  // in an uninstalled `neigh2`; unreachable (retired) nodes are freed by
+  // the domain.
+  detail::destroy_reachable<C>(root_.load(std::memory_order_relaxed));
+}
+
+// ---------------------------------------------------------------------------
+// Help functions (paper Fig. 3, lines 54-72 and Fig. 4, lines 74-104).
+// ---------------------------------------------------------------------------
+
+// Retires an unlinked node.  A join_main node's tree-slot reference is
+// dropped only after the grace period (direct in-guard holders), and the
+// node itself is deleted once the join_neighbor nodes referencing it are
+// gone too — see release_join_main in node.hpp.
+template <class C>
+void BasicLfcaTree<C>::retire(Node* n) {
+  if (n->type == NodeType::kJoinMain) {
+    domain_.retire(n, &detail::join_main_unlink_deleter<C>);
+  } else {
+    domain_.retire(n, &detail::node_deleter<C>);
+  }
+}
+
+// Paper lines 54-62.  On success the unlinked node is retired here, which
+// also makes every call site's "winner frees" rule uniform.
+template <class C>
+bool BasicLfcaTree<C>::try_replace(Node* b, Node* new_b) {
+  bool done = false;
+  if (b->parent == nullptr) {
+    Node* expected = b;
+    done = root_.compare_exchange_strong(expected, new_b,
+                                         std::memory_order_acq_rel);
+  } else if (b->parent->left.load(std::memory_order_acquire) == b) {
+    Node* expected = b;
+    done = b->parent->left.compare_exchange_strong(
+        expected, new_b, std::memory_order_acq_rel);
+  } else if (b->parent->right.load(std::memory_order_acquire) == b) {
+    Node* expected = b;
+    done = b->parent->right.compare_exchange_strong(
+        expected, new_b, std::memory_order_acq_rel);
+  }
+  if (done) retire(b);
+  return done;
+}
+
+// Paper lines 63-72.
+template <class C>
+bool BasicLfcaTree<C>::is_replaceable(const Node* n) {
+  switch (n->type) {
+    case NodeType::kNormal:
+      return true;
+    case NodeType::kJoinMain:
+      return n->neigh2.load(std::memory_order_acquire) == Node::aborted();
+    case NodeType::kJoinNeighbor: {
+      Node* state = n->main_node->neigh2.load(std::memory_order_acquire);
+      return state == Node::aborted() || state == Node::done_mark();
+    }
+    case NodeType::kRange:
+      return n->storage->result.load(std::memory_order_acquire) !=
+             detail::not_set<C>();
+    case NodeType::kRoute:
+      break;
+  }
+  return false;
+}
+
+// Paper lines 74-86.
+template <class C>
+void BasicLfcaTree<C>::help_if_needed(Node* n) {
+  if (n->type == NodeType::kJoinNeighbor) n = n->main_node;
+  if (n->type == NodeType::kJoinMain) {
+    Node* state = n->neigh2.load(std::memory_order_acquire);
+    if (state == Node::preparing()) {
+      // Kill the unsecured join so our own operation can proceed.
+      Node* expected = Node::preparing();
+      n->neigh2.compare_exchange_strong(expected, Node::aborted(),
+                                        std::memory_order_acq_rel);
+    } else if (detail::is_real<C>(state)) {
+      helps_->fetch_add(1, std::memory_order_relaxed);
+      complete_join(n);
+    }
+  } else if (n->type == NodeType::kRange &&
+             n->storage->result.load(std::memory_order_acquire) ==
+                 detail::not_set<C>()) {
+    helps_->fetch_add(1, std::memory_order_relaxed);
+    all_in_range(n->lo, n->hi, n->storage);
+  }
+}
+
+// Paper lines 87-97 (with the prose semantics for the no-info case, see the
+// file comment).
+template <class C>
+int BasicLfcaTree<C>::new_stat(const Node* n, ContentionInfo info) const {
+  int range_sub = 0;
+  if (n->type == NodeType::kRange &&
+      n->storage->more_than_one_base.load(std::memory_order_relaxed)) {
+    range_sub = config_.range_contrib;
+  }
+  const int stat = n->stat.load(std::memory_order_relaxed);
+  if (info == ContentionInfo::kContended && stat <= config_.high_cont) {
+    return stat + config_.cont_contrib - range_sub;
+  }
+  if (info == ContentionInfo::kUncontended && stat >= config_.low_cont) {
+    return stat - config_.low_cont_contrib - range_sub;
+  }
+  return stat - range_sub;
+}
+
+// Paper lines 98-104.
+template <class C>
+void BasicLfcaTree<C>::adapt_if_needed(Node* b) {
+  if (!is_replaceable(b)) return;
+  const int stat = new_stat(b, ContentionInfo::kNoInfo);
+  if (stat > config_.high_cont) {
+    high_contention_adaptation(b);
+  } else if (stat < config_.low_cont) {
+    low_contention_adaptation(b);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Single-item operations (paper Fig. 4, lines 106-138).
+// ---------------------------------------------------------------------------
+
+template <class C>
+typename BasicLfcaTree<C>::Node* BasicLfcaTree<C>::find_base_node(
+    Key key) const {
+  Node* n = root_.load(std::memory_order_acquire);
+  while (n->type == NodeType::kRoute) {
+    n = (key < n->key ? n->left : n->right).load(std::memory_order_acquire);
+  }
+  return n;
+}
+
+template <class C>
+bool BasicLfcaTree<C>::do_update(UpdateKind kind, Key key, Value value) {
+  reclaim::Domain::Guard guard(domain_);
+  ContentionInfo info = ContentionInfo::kUncontended;
+  while (true) {
+    Node* base = find_base_node(key);
+    if (is_replaceable(base)) {
+      bool changed = false;
+      typename C::Ref new_data =
+          kind == UpdateKind::kInsert
+              ? C::insert(base->data, key, value, &changed)
+              : C::remove(base->data, key, &changed);
+      // `changed` means replaced-an-existing-item for insert and
+      // removed-an-item for remove.
+      auto* newb = new Node(NodeType::kNormal);
+      newb->parent = base->parent;
+      newb->data = new_data.release();
+      newb->stat.store(new_stat(base, info), std::memory_order_relaxed);
+      if (try_replace(base, newb)) {
+        adapt_if_needed(newb);
+        return kind == UpdateKind::kInsert ? !changed : changed;
+      }
+      delete newb;  // never published
+    }
+    info = ContentionInfo::kContended;
+    help_if_needed(base);
+  }
+}
+
+template <class C>
+bool BasicLfcaTree<C>::insert(Key key, Value value) {
+  return do_update(UpdateKind::kInsert, key, value);
+}
+
+template <class C>
+bool BasicLfcaTree<C>::remove(Key key) {
+  return do_update(UpdateKind::kRemove, key, Value{});
+}
+
+template <class C>
+bool BasicLfcaTree<C>::lookup(Key key, Value* value_out) const {
+  reclaim::Domain::Guard guard(domain_);
+  Node* base = find_base_node(key);
+  return C::lookup(base->data, key, value_out);
+}
+
+// ---------------------------------------------------------------------------
+// Adaptations (paper Fig. 7).
+// ---------------------------------------------------------------------------
+
+// Paper lines 277-287.
+template <class C>
+bool BasicLfcaTree<C>::high_contention_adaptation(Node* b) {
+  if (C::less_than_two_items(b->data)) return false;
+  typename C::Ref left_data;
+  typename C::Ref right_data;
+  Key split_key = 0;
+  C::split_evenly(b->data, &left_data, &right_data, &split_key);
+
+  auto* r = new Node(NodeType::kRoute);
+  r->key = split_key;
+  auto* lb = new Node(NodeType::kNormal);
+  lb->parent = r;
+  lb->data = left_data.release();
+  auto* rb = new Node(NodeType::kNormal);
+  rb->parent = r;
+  rb->data = right_data.release();
+  r->left.store(lb, std::memory_order_relaxed);
+  r->right.store(rb, std::memory_order_relaxed);
+
+  if (try_replace(b, r)) {
+    splits_->fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  delete lb;
+  delete rb;
+  delete r;
+  return false;
+}
+
+// Paper lines 268-276.
+template <class C>
+bool BasicLfcaTree<C>::low_contention_adaptation(Node* b) {
+  if (b->parent == nullptr) return false;
+  Node* m = nullptr;
+  if (b->parent->left.load(std::memory_order_acquire) == b) {
+    m = secure_join(b, /*left_child=*/true);
+  } else if (b->parent->right.load(std::memory_order_acquire) == b) {
+    m = secure_join(b, /*left_child=*/false);
+  }
+  if (m != nullptr) {
+    complete_join(m);
+    joins_->fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  aborted_joins_->fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+template <class C>
+bool BasicLfcaTree<C>::force_split(Key hint) {
+  reclaim::Domain::Guard guard(domain_);
+  Node* base = find_base_node(hint);
+  if (!is_replaceable(base)) return false;
+  return high_contention_adaptation(base);
+}
+
+template <class C>
+bool BasicLfcaTree<C>::force_join(Key hint) {
+  reclaim::Domain::Guard guard(domain_);
+  Node* base = find_base_node(hint);
+  if (!is_replaceable(base)) return false;
+  return low_contention_adaptation(base);
+}
+
+// Paper lines 216-250 (secure_join_left; the right-child case is the mirror
+// image, folded in via `left_child`).
+template <class C>
+typename BasicLfcaTree<C>::Node* BasicLfcaTree<C>::secure_join(
+    Node* b, bool left_child) {
+  Node* parent = b->parent;
+  // Line 217: the neighbor is the leaf closest to b on the other side of
+  // its parent.
+  Node* n0 =
+      left_child
+          ? detail::extreme_base<C>(
+                parent->right.load(std::memory_order_acquire),
+                /*leftmost=*/true, nullptr)
+          : detail::extreme_base<C>(
+                parent->left.load(std::memory_order_acquire),
+                /*leftmost=*/false, nullptr);
+  if (!is_replaceable(n0)) return nullptr;  // line 218
+
+  // Lines 219-222: replace b with the join_main node m.
+  auto* m = new Node(NodeType::kJoinMain);
+  m->parent = b->parent;
+  m->data = b->data;
+  if (m->data != nullptr) C::incref(m->data);
+  m->stat.store(b->stat.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  m->neigh2.store(Node::preparing(), std::memory_order_relaxed);
+  {
+    auto& slot = left_child ? parent->left : parent->right;
+    Node* expected = b;
+    if (!slot.compare_exchange_strong(expected, m,
+                                      std::memory_order_acq_rel)) {
+      delete m;
+      return nullptr;
+    }
+    retire(b);
+  }
+
+  // Lines 223-227: replace the neighbor n0 with the join_neighbor node n1.
+  auto* n1 = new Node(NodeType::kJoinNeighbor);
+  n1->parent = n0->parent;
+  n1->data = n0->data;
+  if (n1->data != nullptr) C::incref(n1->data);
+  n1->stat.store(n0->stat.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  n1->main_node = m;
+  m->main_refs.fetch_add(1, std::memory_order_relaxed);  // held by n1
+  if (!try_replace(n0, n1)) {
+    delete n1;
+    m->neigh2.store(Node::aborted(), std::memory_order_release);  // fail0
+    return nullptr;
+  }
+
+  // Lines 228-229: mark the parent with the unique join id m.
+  {
+    Node* expected = nullptr;
+    if (!parent->join_id.compare_exchange_strong(
+            expected, m, std::memory_order_acq_rel)) {
+      m->neigh2.store(Node::aborted(), std::memory_order_release);  // fail0
+      return nullptr;
+    }
+  }
+
+  // Lines 230-233: find and mark the grandparent.
+  Node* gparent = parent_of(parent);
+  if (gparent == Node::not_found()) {
+    parent->join_id.store(nullptr, std::memory_order_release);      // fail1
+    m->neigh2.store(Node::aborted(), std::memory_order_release);    // fail0
+    return nullptr;
+  }
+  if (gparent != nullptr) {
+    Node* expected = nullptr;
+    if (!gparent->join_id.compare_exchange_strong(
+            expected, m, std::memory_order_acq_rel)) {
+      parent->join_id.store(nullptr, std::memory_order_release);    // fail1
+      m->neigh2.store(Node::aborted(), std::memory_order_release);  // fail0
+      return nullptr;
+    }
+  }
+
+  // Lines 234-236.
+  m->gparent = gparent;
+  m->otherb = (left_child ? parent->right : parent->left)
+                  .load(std::memory_order_acquire);
+  m->neigh1 = n1;
+
+  // Lines 237-243: build the joined base node n2 and attempt to secure the
+  // join by publishing it in m->neigh2.
+  Node* joinedp = m->otherb == n1 ? gparent : n1->parent;
+  auto* n2 = new Node(NodeType::kJoinNeighbor);
+  n2->parent = joinedp;
+  n2->main_node = m;
+  m->main_refs.fetch_add(1, std::memory_order_relaxed);  // held by n2
+  n2->data = (left_child ? C::join(m->data, n1->data)
+                         : C::join(n1->data, m->data))
+                 .release();
+  {
+    Node* expected = Node::preparing();
+    if (m->neigh2.compare_exchange_strong(expected, n2,
+                                          std::memory_order_acq_rel)) {
+      return m;
+    }
+  }
+
+  // Lines 245-248: another thread aborted the join; roll back the marks.
+  delete n2;  // never published; releases its main_refs reference
+  if (gparent != nullptr) {
+    gparent->join_id.store(nullptr, std::memory_order_release);
+  }
+  parent->join_id.store(nullptr, std::memory_order_release);    // fail1
+  m->neigh2.store(Node::aborted(), std::memory_order_release);  // fail0
+  return nullptr;
+}
+
+// Paper lines 251-267.  May be executed concurrently by several threads for
+// the same m; every step is idempotent or guarded by a CAS whose winner
+// retires the unlinked nodes.
+template <class C>
+void BasicLfcaTree<C>::complete_join(Node* m) {
+  Node* n2 = m->neigh2.load(std::memory_order_acquire);
+  if (n2 == Node::done_mark()) return;
+  assert(detail::is_real<C>(n2));
+  try_replace(m->neigh1, n2);  // line 254
+  m->parent->valid.store(false, std::memory_order_release);  // line 255
+  Node* replacement = m->otherb == m->neigh1 ? n2 : m->otherb;
+  if (m->gparent == nullptr) {
+    Node* expected = m->parent;
+    if (root_.compare_exchange_strong(expected, replacement,
+                                      std::memory_order_acq_rel)) {
+      retire(m->parent);
+      retire(m);
+    }
+  } else if (m->gparent->left.load(std::memory_order_acquire) == m->parent) {
+    Node* expected = m->parent;
+    if (m->gparent->left.compare_exchange_strong(
+            expected, replacement, std::memory_order_acq_rel)) {
+      retire(m->parent);
+      retire(m);
+    }
+    Node* expected_id = m;
+    m->gparent->join_id.compare_exchange_strong(expected_id, nullptr,
+                                                std::memory_order_acq_rel);
+  } else if (m->gparent->right.load(std::memory_order_acquire) ==
+             m->parent) {
+    Node* expected = m->parent;
+    if (m->gparent->right.compare_exchange_strong(
+            expected, replacement, std::memory_order_acq_rel)) {
+      retire(m->parent);
+      retire(m);
+    }
+    Node* expected_id = m;
+    m->gparent->join_id.compare_exchange_strong(expected_id, nullptr,
+                                                std::memory_order_acq_rel);
+  }
+  m->neigh2.store(Node::done_mark(), std::memory_order_release);  // line 266
+}
+
+// Finds the parent of route node r by searching from the root (the paper's
+// parent_of).  Returns null when r is the root and not_found() when r is no
+// longer reachable.
+template <class C>
+typename BasicLfcaTree<C>::Node* BasicLfcaTree<C>::parent_of(Node* r) const {
+  Node* prev = nullptr;
+  Node* cur = root_.load(std::memory_order_acquire);
+  while (cur != r && cur->type == NodeType::kRoute) {
+    prev = cur;
+    cur = (r->key < cur->key ? cur->left : cur->right)
+              .load(std::memory_order_acquire);
+  }
+  return cur == r ? prev : Node::not_found();
+}
+
+// ---------------------------------------------------------------------------
+// Range queries (paper Fig. 5 and §6).
+// ---------------------------------------------------------------------------
+
+template <class C>
+typename BasicLfcaTree<C>::Node* BasicLfcaTree<C>::find_base_stack(
+    Key key, std::vector<Node*>& stack) const {
+  Node* n = root_.load(std::memory_order_acquire);
+  while (n->type == NodeType::kRoute) {
+    stack.push_back(n);
+    n = (key < n->key ? n->left : n->right).load(std::memory_order_acquire);
+  }
+  stack.push_back(n);
+  return n;
+}
+
+template <class C>
+typename BasicLfcaTree<C>::Node* BasicLfcaTree<C>::leftmost_and_stack(
+    Node* n, std::vector<Node*>& stack) {
+  return detail::extreme_base<C>(n, /*leftmost=*/true, &stack);
+}
+
+// Paper lines 144-157.
+template <class C>
+typename BasicLfcaTree<C>::Node* BasicLfcaTree<C>::find_next_base_stack(
+    std::vector<Node*>& stack) {
+  Node* base = stack.back();
+  stack.pop_back();
+  if (stack.empty()) return nullptr;
+  Node* t = stack.back();
+  if (t->left.load(std::memory_order_acquire) == base) {
+    return leftmost_and_stack(t->right.load(std::memory_order_acquire),
+                              stack);
+  }
+  const Key be_greater_than = t->key;
+  while (!stack.empty()) {
+    t = stack.back();
+    if (t->valid.load(std::memory_order_acquire) &&
+        t->key > be_greater_than) {
+      return leftmost_and_stack(t->right.load(std::memory_order_acquire),
+                                stack);
+    }
+    stack.pop_back();
+  }
+  return nullptr;
+}
+
+template <class C>
+void BasicLfcaTree<C>::count_range_query(std::size_t bases_traversed) const {
+  range_queries_->fetch_add(1, std::memory_order_relaxed);
+  range_bases_traversed_->fetch_add(bases_traversed,
+                                    std::memory_order_relaxed);
+}
+
+// Paper lines 161-215.  Must be called inside an epoch guard; the returned
+// container pointer stays valid until the guard is released.
+template <class C>
+const typename C::Node* BasicLfcaTree<C>::all_in_range(
+    Key lo, Key hi, ResultStorage* help_s) {
+  std::vector<Node*> stack;
+  std::vector<Node*> backup;
+  std::vector<Node*> done;
+  ResultStorage* my_s = nullptr;
+  Node* b = nullptr;
+
+  // find_first (lines 168-183).
+  while (true) {
+    stack.clear();
+    b = find_base_stack(lo, stack);
+    if (help_s != nullptr) {
+      if (b->type != NodeType::kRange || b->storage != help_s) {
+        // The helped query has linearized (its first base node would still
+        // be irreplaceable otherwise); its result is available.
+        return help_s->result.load(std::memory_order_acquire);
+      }
+      my_s = help_s;
+      break;
+    }
+    if (is_replaceable(b)) {
+      if (my_s == nullptr) my_s = new ResultStorage();  // reused on retry
+      Node* n = detail::new_range_base<C>(b, lo, hi, my_s);
+      if (!try_replace(b, n)) {
+        delete n;
+        continue;  // goto find_first
+      }
+      stack.back() = n;  // replace_top
+      b = n;
+      break;
+    }
+    if (b->type == NodeType::kRange && b->hi >= hi) {
+      // A wider in-flight range query covers ours: help it and use its
+      // result (line 179).
+      if (my_s != nullptr) my_s->release();  // ours was never installed
+      return all_in_range(b->lo, b->hi, b->storage);
+    }
+    help_if_needed(b);
+  }
+
+  // Find the remaining base nodes (lines 184-207).
+  while (true) {
+    done.push_back(b);
+    backup = stack;
+    if (!C::empty(b->data) && C::max_key(b->data) >= hi) break;
+    bool advanced = false;
+    while (!advanced) {
+      b = find_next_base_stack(stack);
+      if (b == nullptr) break;
+      const typename C::Node* result =
+          my_s->result.load(std::memory_order_acquire);
+      if (result != detail::not_set<C>()) {
+        if (help_s == nullptr) my_s->release();
+        return result;
+      }
+      if (b->type == NodeType::kRange && b->storage == my_s) {
+        advanced = true;  // replaced by a concurrent helper of this query
+      } else if (is_replaceable(b)) {
+        Node* n = detail::new_range_base<C>(b, lo, hi, my_s);
+        if (try_replace(b, n)) {
+          stack.back() = n;  // replace_top
+          b = n;
+          advanced = true;
+        } else {
+          delete n;
+          stack = backup;
+        }
+      } else {
+        help_if_needed(b);
+        stack = backup;
+      }
+    }
+    if (b == nullptr) break;
+  }
+
+  // Collect and publish the result (lines 208-214).
+  typename C::Ref result;
+  for (std::size_t i = 0; i < done.size(); ++i) {
+    if (i == 0) {
+      if (done[0]->data != nullptr) C::incref(done[0]->data);
+      result = C::Ref::adopt(done[0]->data);
+    } else {
+      result = C::join(result.get(), done[i]->data);
+    }
+  }
+  const typename C::Node* raw = result.get();
+  const typename C::Node* expected = detail::not_set<C>();
+  if (my_s->result.compare_exchange_strong(expected, raw,
+                                           std::memory_order_acq_rel)) {
+    result.release();  // ownership moved into the storage
+    if (done.size() > 1) {
+      my_s->more_than_one_base.store(true, std::memory_order_release);
+    }
+    count_range_query(done.size());
+  }
+  adapt_if_needed(
+      done[detail::thread_rng().next_below(done.size())]);  // line 213
+  const typename C::Node* out = my_s->result.load(std::memory_order_acquire);
+  if (help_s == nullptr) my_s->release();
+  return out;
+}
+
+// §6: read-only double-collect attempt.  Fills `bases` with the sequence of
+// base nodes covering [lo, hi] and returns false if any of them is
+// irreplaceable (an in-flight range query or join could otherwise leak a
+// partially applied state into the snapshot).
+template <class C>
+bool BasicLfcaTree<C>::try_optimistic_collect(
+    Key lo, Key hi, std::vector<Node*>& bases) const {
+  std::vector<Node*> stack;
+  Node* b = find_base_stack(lo, stack);
+  while (true) {
+    if (!is_replaceable(b)) return false;
+    bases.push_back(b);
+    if (!C::empty(b->data) && C::max_key(b->data) >= hi) return true;
+    b = find_next_base_stack(stack);
+    if (b == nullptr) return true;
+  }
+}
+
+template <class C>
+void BasicLfcaTree<C>::range_query(Key lo, Key hi, ItemVisitor visit) const {
+  auto* self = const_cast<BasicLfcaTree*>(this);
+  reclaim::Domain::Guard guard(domain_);
+
+  if (config_.optimistic_ranges) {
+    std::vector<Node*> scan1;
+    std::vector<Node*> scan2;
+    if (try_optimistic_collect(lo, hi, scan1) &&
+        try_optimistic_collect(lo, hi, scan2) && scan1 == scan2) {
+      // Identical consecutive collects of immutable-content nodes: some
+      // instant between the scans had all of them installed at once (no
+      // pointer can recycle inside our guard), so this is a linearizable
+      // snapshot.  See Brown & Avni [4] for the proof of this scheme.
+      std::size_t base_count = 0;
+      for (Node* n : scan1) {
+        C::for_range(n->data, lo, hi, visit);
+        ++base_count;
+      }
+      optimistic_ranges_->fetch_add(1, std::memory_order_relaxed);
+      count_range_query(base_count);
+      if (base_count > 1) {
+        // Feed the multi-base observation into the heuristics (see the file
+        // comment); the writing path does this via new_stat on replacement.
+        Node* probe = scan1[detail::thread_rng().next_below(scan1.size())];
+        probe->stat.fetch_sub(config_.range_contrib,
+                              std::memory_order_relaxed);
+        self->adapt_if_needed(probe);
+      }
+      return;
+    }
+    fallback_ranges_->fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const typename C::Node* result = self->all_in_range(lo, hi, nullptr);
+  assert(result != detail::not_set<C>());
+  C::for_range(result, lo, hi, visit);
+}
+
+// ---------------------------------------------------------------------------
+// Introspection.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+template <class C>
+std::size_t count_items(Node<C>* n) {
+  if (n->type == NodeType::kRoute) {
+    return count_items<C>(n->left.load(std::memory_order_acquire)) +
+           count_items<C>(n->right.load(std::memory_order_acquire));
+  }
+  return C::size(n->data);
+}
+
+template <class C>
+std::size_t count_routes(Node<C>* n) {
+  if (n->type != NodeType::kRoute) return 0;
+  return 1 + count_routes<C>(n->left.load(std::memory_order_acquire)) +
+         count_routes<C>(n->right.load(std::memory_order_acquire));
+}
+
+/// Quiescent structural check: route keys form a BST and every base node's
+/// container keys lie inside the key interval its route path implies.
+template <class C>
+bool check_rec(Node<C>* n, __int128 lo, __int128 hi) {
+  if (n->type == NodeType::kRoute) {
+    const __int128 key = n->key;
+    if (key < lo || key > hi) return false;
+    return check_rec<C>(n->left.load(std::memory_order_relaxed), lo,
+                        key - 1) &&
+           check_rec<C>(n->right.load(std::memory_order_relaxed), key, hi);
+  }
+  if (C::empty(n->data)) return true;
+  Key first = 0;
+  Key last = 0;
+  bool started = false;
+  bool sorted = true;
+  C::for_range(n->data, kKeyMin, kKeyMax, [&](Key k, Value) {
+    if (!started) {
+      first = k;
+      started = true;
+    } else if (k <= last) {
+      sorted = false;
+    }
+    last = k;
+  });
+  if (!sorted) return false;
+  return static_cast<__int128>(first) >= lo &&
+         static_cast<__int128>(last) <= hi;
+}
+
+}  // namespace detail
+
+template <class C>
+std::size_t BasicLfcaTree<C>::size() const {
+  reclaim::Domain::Guard guard(domain_);
+  return detail::count_items<C>(root_.load(std::memory_order_acquire));
+}
+
+template <class C>
+std::size_t BasicLfcaTree<C>::route_node_count() const {
+  reclaim::Domain::Guard guard(domain_);
+  return detail::count_routes<C>(root_.load(std::memory_order_acquire));
+}
+
+template <class C>
+bool BasicLfcaTree<C>::check_integrity() const {
+  reclaim::Domain::Guard guard(domain_);
+  constexpr __int128 lo = static_cast<__int128>(kKeyMin) - 1;
+  constexpr __int128 hi = static_cast<__int128>(kKeyMax) + 1;
+  return detail::check_rec<C>(root_.load(std::memory_order_acquire), lo, hi);
+}
+
+template <class C>
+Stats BasicLfcaTree<C>::stats() const {
+  Stats s;
+  s.splits = splits_->load(std::memory_order_relaxed);
+  s.joins = joins_->load(std::memory_order_relaxed);
+  s.aborted_joins = aborted_joins_->load(std::memory_order_relaxed);
+  s.range_queries = range_queries_->load(std::memory_order_relaxed);
+  s.range_bases_traversed =
+      range_bases_traversed_->load(std::memory_order_relaxed);
+  s.optimistic_ranges = optimistic_ranges_->load(std::memory_order_relaxed);
+  s.fallback_ranges = fallback_ranges_->load(std::memory_order_relaxed);
+  s.helps = helps_->load(std::memory_order_relaxed);
+  return s;
+}
+
+template <class C>
+void BasicLfcaTree<C>::reset_stats() {
+  splits_->store(0, std::memory_order_relaxed);
+  joins_->store(0, std::memory_order_relaxed);
+  aborted_joins_->store(0, std::memory_order_relaxed);
+  range_queries_->store(0, std::memory_order_relaxed);
+  range_bases_traversed_->store(0, std::memory_order_relaxed);
+  optimistic_ranges_->store(0, std::memory_order_relaxed);
+  fallback_ranges_->store(0, std::memory_order_relaxed);
+  helps_->store(0, std::memory_order_relaxed);
+}
+
+}  // namespace cats::lfca

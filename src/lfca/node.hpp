@@ -1,0 +1,169 @@
+// Node types of the LFCA tree (paper Fig. 3, lines 14-52), parameterized on
+// the leaf-container policy C (see container_policy.hpp).
+//
+// The paper defines five node types sharing fields via `with_fields_from`;
+// we mirror that with a single struct carrying the union of all fields plus
+// a `type` tag.  Wasting a few words per node keeps every pointer transition
+// of the pseudo-code a plain CAS on a `Node*`, exactly as published.
+//
+// All fields are written before a node is published (via CAS into a parent
+// pointer) and are immutable afterwards, EXCEPT the fields declared atomic:
+//   route:      left, right, valid, join_id
+//   join_main:  neigh2 (PREPARING -> joined node -> DONE, or -> ABORTED)
+//               and main_refs (lifetime bookkeeping, see below)
+//   any base:   stat (heuristic only; in-place updates cannot affect
+//               correctness — see BasicLfcaTree::range_query)
+// plus the fields of ResultStorage.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace cats::lfca::detail {
+
+enum class NodeType : std::uint8_t {
+  kRoute,
+  kNormal,
+  kJoinMain,
+  kJoinNeighbor,
+  kRange,
+};
+
+template <class C>
+struct Node;
+
+/// Sentinel container pointer: "result not yet computed".  Compared against
+/// real heap pointers, which are never 1.
+template <class C>
+const typename C::Node* not_set() {
+  return reinterpret_cast<const typename C::Node*>(1);
+}
+
+template <class C>
+bool is_real_result(const typename C::Node* p) {
+  return reinterpret_cast<std::uintptr_t>(p) > 1;
+}
+
+/// Result storage of a range query (paper's `struct rs`).  Shared by every
+/// range_base node of one query; reference counted because those nodes are
+/// reclaimed independently through EBR.
+template <class C>
+struct ResultStorage {
+  /// not_set<C>() until the query linearizes; afterwards the joined
+  /// container (an owned reference, possibly null for an empty result).
+  std::atomic<const typename C::Node*> result;
+  std::atomic<bool> more_than_one_base{false};
+  std::atomic<std::uint32_t> rc{1};
+
+  ResultStorage() : result(not_set<C>()) {}
+  ~ResultStorage() {
+    const typename C::Node* r = result.load(std::memory_order_relaxed);
+    if (is_real_result<C>(r)) C::decref(r);
+  }
+
+  void add_ref() { rc.fetch_add(1, std::memory_order_relaxed); }
+  void release() {
+    if (rc.fetch_sub(1, std::memory_order_acq_rel) == 1) delete this;
+  }
+};
+
+template <class C>
+void release_join_main(Node<C>* m);
+
+template <class C>
+struct Node {
+  NodeType type;
+
+  // --- route_node fields -------------------------------------------------
+  Key key = 0;
+  std::atomic<Node*> left{nullptr};
+  std::atomic<Node*> right{nullptr};
+  std::atomic<bool> valid{true};
+  std::atomic<Node*> join_id{nullptr};
+
+  // --- fields shared by every base-node type ------------------------------
+  /// Owned reference to the immutable leaf container (may be null = empty).
+  const typename C::Node* data = nullptr;
+  /// Contention statistics (paper's `stat`).
+  std::atomic<int> stat{0};
+  /// Parent route node, or null if this base node is the root.
+  Node* parent = nullptr;
+
+  // --- join_main fields ----------------------------------------------------
+  Node* neigh1 = nullptr;
+  /// preparing() -> (joined replacement node | aborted()) -> done().
+  std::atomic<Node*> neigh2{nullptr};
+  Node* gparent = nullptr;
+  Node* otherb = nullptr;
+  /// Lifetime references to this join_main node: one for the tree slot plus
+  /// one per join_neighbor whose `main_node` points here.  The Java
+  /// original leans on the GC for exactly this edge: a join_neighbor stays
+  /// reachable long after the join completes, and is_replaceable() follows
+  /// its main_node pointer — so the main node must outlive every neighbor
+  /// that references it, not just its own reclamation grace period.
+  std::atomic<std::uint32_t> main_refs{1};
+
+  // --- join_neighbor fields -------------------------------------------------
+  Node* main_node = nullptr;
+
+  // --- range_base fields -----------------------------------------------------
+  Key lo = 0;
+  Key hi = 0;
+  ResultStorage<C>* storage = nullptr;
+
+  explicit Node(NodeType t) : type(t) {}
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+  ~Node() {
+    if (data != nullptr) C::decref(data);
+    if (type == NodeType::kRange && storage != nullptr) storage->release();
+    if (type == NodeType::kJoinNeighbor && main_node != nullptr) {
+      release_join_main<C>(main_node);
+    }
+  }
+
+  // Sentinel pointer values (paper Fig. 3, lines 7-11).  Compared against
+  // real heap pointers, which are always > 2.
+  static Node* not_found() { return reinterpret_cast<Node*>(1); }
+  static Node* preparing() { return nullptr; }
+  static Node* done_mark() { return reinterpret_cast<Node*>(1); }
+  static Node* aborted() { return reinterpret_cast<Node*>(2); }
+};
+
+/// True if `p` is a real node pointer rather than a sentinel.
+template <class C>
+bool is_real(const Node<C>* p) {
+  return reinterpret_cast<std::uintptr_t>(p) > 2;
+}
+
+/// EBR deleter for LFCA nodes: the destructor releases the container
+/// reference, the result-storage reference, and (for a join_neighbor) its
+/// main-node reference.
+template <class C>
+void node_deleter(void* ptr) {
+  delete static_cast<Node<C>*>(ptr);
+}
+
+/// Drops one `main_refs` reference of a join_main node; the last reference
+/// deletes it.  Safe to call without a grace period ONLY from contexts that
+/// no concurrent reader can race with: a neighbor's destructor (any reader
+/// that obtained the pointer through that neighbor finished before the
+/// neighbor could be freed) or quiescent teardown.  The tree-slot reference
+/// is instead dropped by `join_main_unlink_deleter` through EBR retire, so
+/// direct in-guard holders of the unlinked node get their grace period.
+template <class C>
+void release_join_main(Node<C>* m) {
+  if (m->main_refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    delete m;
+  }
+}
+
+/// EBR deleter used when a join_main node is unlinked from its tree slot.
+template <class C>
+void join_main_unlink_deleter(void* ptr) {
+  release_join_main<C>(static_cast<Node<C>*>(ptr));
+}
+
+}  // namespace cats::lfca::detail

@@ -1,0 +1,36 @@
+// Runtime statistics of an LFCA tree, reproducing the measurements of the
+// paper's Tables 1 and 2 (route-node count, base nodes traversed per range
+// query, split and join rates).
+#pragma once
+
+#include <cstdint>
+
+namespace cats::lfca {
+
+/// Snapshot of the tree's internal counters.  Counters are maintained with
+/// relaxed atomics; values are exact in quiescence and slightly approximate
+/// under concurrency, which is all the paper's tables require.
+struct Stats {
+  std::uint64_t splits = 0;
+  std::uint64_t joins = 0;
+  std::uint64_t aborted_joins = 0;
+  /// Completed range queries (counted by the initiating thread).
+  std::uint64_t range_queries = 0;
+  /// Total base nodes traversed by completed range queries.
+  std::uint64_t range_bases_traversed = 0;
+  /// Range queries answered by the §6 read-only fast path.
+  std::uint64_t optimistic_ranges = 0;
+  /// Range queries that fell back to the node-replacing algorithm.
+  std::uint64_t fallback_ranges = 0;
+  /// Calls that helped another thread's operation.
+  std::uint64_t helps = 0;
+
+  double traversed_per_query() const {
+    return range_queries == 0
+               ? 0.0
+               : static_cast<double>(range_bases_traversed) /
+                     static_cast<double>(range_queries);
+  }
+};
+
+}  // namespace cats::lfca

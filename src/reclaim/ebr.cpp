@@ -1,0 +1,206 @@
+#include "reclaim/ebr.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cats::reclaim {
+
+// ---------------------------------------------------------------------------
+// Thread-local registry.
+//
+// A thread may use several domains (the global one plus per-test domains), so
+// its TLS holds a small vector of (domain, context) pairs, plus a one-entry
+// cache for the domain it touched last.  The DomainTls destructor runs at
+// thread exit and hands any still-pending retirements back to the domain as
+// orphans.
+// ---------------------------------------------------------------------------
+
+struct DomainTls {
+  struct Entry {
+    Domain* domain;
+    Domain::ThreadCtx* ctx;
+  };
+  std::vector<Entry> entries;
+
+  ~DomainTls() {
+    for (auto& entry : entries) {
+      if (entry.domain != nullptr) entry.domain->unregister(entry.ctx);
+    }
+  }
+
+  static DomainTls& instance() {
+    thread_local DomainTls tls;
+    return tls;
+  }
+};
+
+namespace {
+thread_local Domain* tl_cached_domain = nullptr;
+thread_local void* tl_cached_ctx = nullptr;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Domain
+// ---------------------------------------------------------------------------
+
+Domain::Domain() = default;
+
+Domain::~Domain() {
+  // Unregister the destroying thread itself, if it ever used this domain.
+  // All other threads must have exited or been joined by now (lifetime
+  // contract), which means their TLS destructors already ran.
+  auto& tls = DomainTls::instance();
+  for (auto& entry : tls.entries) {
+    if (entry.domain == this) {
+      unregister(entry.ctx);
+      entry.domain = nullptr;
+    }
+  }
+  for (auto& slot : slots_) {
+    if (slot->owner.load(std::memory_order_acquire) != nullptr) {
+      std::fprintf(stderr,
+                   "cats::reclaim::Domain destroyed while a thread is still "
+                   "registered; leaking its pending retirements\n");
+    }
+  }
+  // No concurrent users remain: everything pending is safe to free.
+  std::lock_guard<std::mutex> lock(orphan_mutex_);
+  for (const Retired& r : orphans_) r.deleter(r.ptr);
+  pending_.fetch_sub(orphans_.size(), std::memory_order_relaxed);
+  orphans_.clear();
+}
+
+Domain& Domain::global() {
+  static Domain* const instance = new Domain();  // leaked on purpose
+  return *instance;
+}
+
+Domain::ThreadCtx& Domain::context() {
+  if (tl_cached_domain == this) {
+    return *static_cast<ThreadCtx*>(tl_cached_ctx);
+  }
+  auto& tls = DomainTls::instance();
+  for (auto& entry : tls.entries) {
+    if (entry.domain == this) {
+      tl_cached_domain = this;
+      tl_cached_ctx = entry.ctx;
+      return *entry.ctx;
+    }
+  }
+  ThreadCtx* ctx = register_thread();
+  tls.entries.push_back({this, ctx});
+  tl_cached_domain = this;
+  tl_cached_ctx = ctx;
+  return *ctx;
+}
+
+Domain::ThreadCtx* Domain::register_thread() {
+  auto* ctx = new ThreadCtx();
+  ctx->domain = this;
+  // A free slot's `announced` is already kIdle: unregister() resets it
+  // before releasing ownership.  Never write to a slot before owning it.
+  for (std::size_t i = 0; i < kMaxThreads; ++i) {
+    void* expected = nullptr;
+    if (slots_[i]->owner.compare_exchange_strong(expected, ctx,
+                                                 std::memory_order_acq_rel)) {
+      ctx->slot_index = i;
+      return ctx;
+    }
+  }
+  std::fprintf(stderr, "cats::reclaim::Domain: more than %zu threads\n",
+               kMaxThreads);
+  std::abort();
+}
+
+void Domain::unregister(ThreadCtx* ctx) {
+  if (!ctx->retired.empty()) {
+    std::lock_guard<std::mutex> lock(orphan_mutex_);
+    orphans_.insert(orphans_.end(), ctx->retired.begin(), ctx->retired.end());
+  }
+  auto& slot = *slots_[ctx->slot_index];
+  slot.announced.store(kIdle, std::memory_order_release);
+  slot.owner.store(nullptr, std::memory_order_release);
+  if (tl_cached_domain == this) {
+    tl_cached_domain = nullptr;
+    tl_cached_ctx = nullptr;
+  }
+  delete ctx;
+}
+
+void Domain::enter() {
+  ThreadCtx& ctx = context();
+  if (ctx.guard_depth++ == 0) {
+    const std::uint64_t e = global_epoch_.load(std::memory_order_relaxed);
+    // seq_cst: the announcement must become visible before any subsequent
+    // load of shared pointers, or try_advance could miss this reader.
+    slots_[ctx.slot_index]->announced.store(e, std::memory_order_seq_cst);
+  }
+}
+
+void Domain::exit() {
+  ThreadCtx& ctx = context();
+  if (--ctx.guard_depth == 0) {
+    slots_[ctx.slot_index]->announced.store(kIdle, std::memory_order_release);
+  }
+}
+
+void Domain::retire(void* ptr, void (*deleter)(void*)) {
+  ThreadCtx& ctx = context();
+  const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
+  ctx.retired.push_back({ptr, deleter, e});
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  if (++ctx.retire_count % kDrainThreshold == 0) {
+    try_advance();
+    free_eligible(ctx.retired, global_epoch_.load(std::memory_order_acquire));
+  }
+}
+
+bool Domain::try_advance() {
+  std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  for (const auto& slot : slots_) {
+    if (slot->owner.load(std::memory_order_acquire) == nullptr) continue;
+    const std::uint64_t announced =
+        slot->announced.load(std::memory_order_seq_cst);
+    if (announced != kIdle && announced != e) return false;
+  }
+  return global_epoch_.compare_exchange_strong(e, e + 1,
+                                               std::memory_order_acq_rel);
+}
+
+void Domain::free_eligible(std::vector<Retired>& list, std::uint64_t global) {
+  // Partition first, run deleters after: a deleter may itself call
+  // retire(), which appends to the calling thread's list — possibly this
+  // very vector — and must not race with our iteration.
+  std::vector<Retired> eligible;
+  std::size_t kept = 0;
+  for (const Retired& r : list) {
+    if (r.epoch + 2 <= global) {
+      eligible.push_back(r);
+    } else {
+      list[kept++] = r;
+    }
+  }
+  list.resize(kept);
+  for (const Retired& r : eligible) r.deleter(r.ptr);
+  if (!eligible.empty()) {
+    pending_.fetch_sub(eligible.size(), std::memory_order_relaxed);
+  }
+}
+
+void Domain::drain() {
+  ThreadCtx& ctx = context();
+  // Three advances move the epoch past everything retired so far; they can
+  // only fail if a guard is active, which the caller promises is not the
+  // case.
+  for (int i = 0; i < 3; ++i) try_advance();
+  const std::uint64_t global = global_epoch_.load(std::memory_order_acquire);
+  free_eligible(ctx.retired, global);
+  std::lock_guard<std::mutex> lock(orphan_mutex_);
+  free_eligible(orphans_, global);
+}
+
+std::size_t Domain::pending() const {
+  return pending_.load(std::memory_order_relaxed);
+}
+
+}  // namespace cats::reclaim

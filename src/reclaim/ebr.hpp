@@ -1,0 +1,136 @@
+// Epoch-based memory reclamation (EBR).
+//
+// The paper's LFCA tree implementation is in Java and leans on the JVM
+// garbage collector: unlinked route/base nodes and superseded immutable leaf
+// containers simply become unreachable.  In C++ we must not free a node while
+// a concurrent wait-free lookup may still dereference it, so this module
+// provides the classic three-epoch scheme (Fraser 2004):
+//
+//  * Every operation on a shared structure runs inside a `Guard`, which
+//    announces the current global epoch in a per-thread slot.
+//  * A thread that unlinks a node calls `retire(ptr, deleter)`.  The node is
+//    tagged with the global epoch observed at retirement.
+//  * A node tagged with epoch e may be freed once the global epoch reaches
+//    e + 2: advancing from e to e+1 requires every in-guard thread to have
+//    announced e, and advancing again requires every guard begun at epoch
+//    <= e to have ended — at which point no thread can still hold a
+//    reference obtained before the unlink.
+//
+// Guard enter/exit are a store and a load each (wait-free), preserving the
+// paper's wait-free lookup guarantee.  `retire` is lock-free: it appends to
+// a thread-private list and occasionally attempts a (failable) epoch
+// advance.
+//
+// Lifetime contract: a Domain must outlive every guard and retirement that
+// uses it.  Threads unregister automatically at thread exit.  The process-
+// wide `Domain::global()` instance is intentionally leaked so that static
+// destruction order can never invalidate it.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/padded.hpp"
+
+namespace cats::reclaim {
+
+class Domain {
+ public:
+  /// Maximum number of threads that may be simultaneously registered.
+  static constexpr std::size_t kMaxThreads = 512;
+
+  Domain();
+  ~Domain();
+
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  /// RAII epoch critical section.  Nestable; only the outermost guard
+  /// announces and clears the epoch.
+  class Guard {
+   public:
+    explicit Guard(Domain& domain) : domain_(domain) { domain_.enter(); }
+    ~Guard() { domain_.exit(); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    Domain& domain_;
+  };
+
+  /// Defers `deleter(ptr)` until no guard that could observe `ptr` remains.
+  /// Must be called after `ptr` has been unlinked from the shared structure.
+  void retire(void* ptr, void (*deleter)(void*));
+
+  /// Typed convenience overload: defers `delete ptr`.
+  template <class T>
+  void retire(T* ptr) {
+    retire(static_cast<void*>(ptr),
+           [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  /// Test/shutdown helper: repeatedly advances the epoch and frees
+  /// everything pending.  Precondition: no thread holds a guard.
+  void drain();
+
+  /// Number of retirements not yet freed (approximate; for tests/stats).
+  std::size_t pending() const;
+
+  /// Current global epoch (for tests).
+  std::uint64_t epoch() const {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Process-wide default domain (leaked singleton).
+  static Domain& global();
+
+ private:
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+    std::uint64_t epoch;
+  };
+
+  struct Slot {
+    /// 0 = slot free; otherwise points at the owning ThreadCtx.
+    std::atomic<void*> owner{nullptr};
+    /// kIdle when the thread is outside any guard, else the announced epoch.
+    std::atomic<std::uint64_t> announced{kIdle};
+  };
+
+  struct ThreadCtx {
+    Domain* domain = nullptr;
+    std::size_t slot_index = 0;
+    std::uint32_t guard_depth = 0;
+    std::uint64_t retire_count = 0;
+    std::vector<Retired> retired;
+  };
+
+  static constexpr std::uint64_t kIdle = 0;
+  static constexpr std::size_t kDrainThreshold = 64;
+
+  void enter();
+  void exit();
+  ThreadCtx& context();
+  ThreadCtx* register_thread();
+  void unregister(ThreadCtx* ctx);
+  /// Attempts one epoch advance; returns true if the epoch moved.
+  bool try_advance();
+  /// Frees entries in `list` that are two epochs old; compacts in place.
+  void free_eligible(std::vector<Retired>& list, std::uint64_t global);
+
+  alignas(kCacheLine) std::atomic<std::uint64_t> global_epoch_{1};
+  Padded<Slot> slots_[kMaxThreads];
+
+  std::mutex orphan_mutex_;
+  std::vector<Retired> orphans_;
+  /// Total retirements across all threads not yet freed.
+  std::atomic<std::size_t> pending_{0};
+
+  friend struct DomainTls;
+};
+
+}  // namespace cats::reclaim

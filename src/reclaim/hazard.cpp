@@ -1,0 +1,137 @@
+#include "reclaim/hazard.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cats::reclaim {
+
+struct HazardTls {
+  struct Entry {
+    HazardDomain* domain;
+    HazardDomain::ThreadCtx* ctx;
+  };
+  std::vector<Entry> entries;
+
+  ~HazardTls() {
+    for (auto& entry : entries) {
+      if (entry.domain == nullptr) continue;
+      auto* domain = entry.domain;
+      auto* ctx = entry.ctx;
+      if (!ctx->retired.empty()) {
+        std::lock_guard<std::mutex> lock(domain->orphan_mutex_);
+        domain->orphans_.insert(domain->orphans_.end(), ctx->retired.begin(),
+                                ctx->retired.end());
+      }
+      for (std::size_t i = 0; i < HazardDomain::kPerThread; ++i) {
+        domain->hazards_[ctx->base_slot + i]->store(
+            nullptr, std::memory_order_release);
+      }
+      domain->owners_[ctx->base_slot / HazardDomain::kPerThread]->store(
+          nullptr, std::memory_order_release);
+      delete ctx;
+    }
+  }
+
+  static HazardTls& instance() {
+    thread_local HazardTls tls;
+    return tls;
+  }
+};
+
+HazardDomain::~HazardDomain() {
+  auto& tls = HazardTls::instance();
+  for (auto& entry : tls.entries) {
+    if (entry.domain == this) {
+      orphans_.insert(orphans_.end(), entry.ctx->retired.begin(),
+                      entry.ctx->retired.end());
+      delete entry.ctx;
+      entry.domain = nullptr;
+    }
+  }
+  for (const Retired& r : orphans_) r.deleter(r.ptr);
+  pending_.fetch_sub(orphans_.size(), std::memory_order_relaxed);
+}
+
+HazardDomain::ThreadCtx& HazardDomain::context() {
+  auto& tls = HazardTls::instance();
+  for (auto& entry : tls.entries) {
+    if (entry.domain == this) return *entry.ctx;
+  }
+  auto* ctx = new ThreadCtx();
+  for (std::size_t i = 0; i < kMaxThreads; ++i) {
+    void* expected = nullptr;
+    if (owners_[i]->compare_exchange_strong(expected, ctx,
+                                            std::memory_order_acq_rel)) {
+      ctx->base_slot = i * kPerThread;
+      tls.entries.push_back({this, ctx});
+      return *ctx;
+    }
+  }
+  std::fprintf(stderr, "cats::reclaim::HazardDomain: more than %zu threads\n",
+               kMaxThreads);
+  std::abort();
+}
+
+HazardDomain::Holder HazardDomain::make_holder() {
+  ThreadCtx& ctx = context();
+  if (ctx.slots_in_use >= kPerThread) {
+    std::fprintf(stderr,
+                 "cats::reclaim::HazardDomain: more than %zu holders per "
+                 "thread\n",
+                 kPerThread);
+    std::abort();
+  }
+  return Holder(*this, ctx.base_slot + ctx.slots_in_use++);
+}
+
+void HazardDomain::clear(std::size_t index) {
+  hazards_[index]->store(nullptr, std::memory_order_release);
+  ThreadCtx& ctx = context();
+  // Holders are destroyed strictly LIFO (they are scoped objects), so the
+  // released slot is always the last one handed out.
+  --ctx.slots_in_use;
+}
+
+void HazardDomain::retire(void* ptr, void (*deleter)(void*)) {
+  ThreadCtx& ctx = context();
+  ctx.retired.push_back({ptr, deleter});
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  if (ctx.retired.size() >= kScanThreshold) scan(ctx);
+}
+
+void HazardDomain::scan(ThreadCtx& ctx) {
+  std::vector<void*> protected_ptrs;
+  protected_ptrs.reserve(kMaxThreads * kPerThread / 8);
+  for (const auto& hazard : hazards_) {
+    void* ptr = hazard->load(std::memory_order_seq_cst);
+    if (ptr != nullptr) protected_ptrs.push_back(ptr);
+  }
+  std::sort(protected_ptrs.begin(), protected_ptrs.end());
+
+  std::size_t kept = 0;
+  std::size_t freed = 0;
+  for (Retired& r : ctx.retired) {
+    if (std::binary_search(protected_ptrs.begin(), protected_ptrs.end(),
+                           r.ptr)) {
+      ctx.retired[kept++] = r;
+    } else {
+      r.deleter(r.ptr);
+      ++freed;
+    }
+  }
+  ctx.retired.resize(kept);
+  if (freed != 0) pending_.fetch_sub(freed, std::memory_order_relaxed);
+}
+
+void HazardDomain::scan_all() {
+  ThreadCtx& ctx = context();
+  {
+    std::lock_guard<std::mutex> lock(orphan_mutex_);
+    ctx.retired.insert(ctx.retired.end(), orphans_.begin(), orphans_.end());
+    orphans_.clear();
+  }
+  scan(ctx);
+}
+
+}  // namespace cats::reclaim

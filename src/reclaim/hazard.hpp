@@ -1,0 +1,126 @@
+// Hazard-pointer reclamation (Michael 2004).
+//
+// Provided as the second reclamation substrate.  EBR (ebr.hpp) is what the
+// concurrent trees use on their hot paths — guard enter/exit is cheaper than
+// publishing one hazard pointer per traversed node, and tree traversals
+// touch many nodes.  Hazard pointers bound garbage per thread regardless of
+// stalled readers, which EBR cannot, so they are the right tool for
+// structures holding few pointers at a time; the test suite uses this domain
+// to cross-check the reclamation contract with a Treiber stack.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/padded.hpp"
+
+namespace cats::reclaim {
+
+class HazardDomain {
+ public:
+  static constexpr std::size_t kMaxThreads = 256;
+  /// Hazard slots available per thread.
+  static constexpr std::size_t kPerThread = 4;
+
+  HazardDomain() = default;
+  ~HazardDomain();
+
+  HazardDomain(const HazardDomain&) = delete;
+  HazardDomain& operator=(const HazardDomain&) = delete;
+
+  /// One published hazard slot.  RAII: clears the slot on destruction.
+  class Holder {
+   public:
+    Holder(HazardDomain& domain, std::size_t index)
+        : domain_(&domain), index_(index) {}
+    Holder(Holder&& other) noexcept
+        : domain_(other.domain_), index_(other.index_) {
+      other.domain_ = nullptr;
+    }
+    Holder(const Holder&) = delete;
+    Holder& operator=(const Holder&) = delete;
+    Holder& operator=(Holder&&) = delete;
+    ~Holder() {
+      if (domain_ != nullptr) domain_->clear(index_);
+    }
+
+    /// Safely reads `*source`: publishes the observed pointer and re-reads
+    /// until the publication is stable.  The returned pointer cannot be
+    /// freed while this holder protects it.
+    template <class T>
+    T* protect(const std::atomic<T*>& source) {
+      T* ptr = source.load(std::memory_order_acquire);
+      while (true) {
+        domain_->publish(index_, ptr);
+        T* again = source.load(std::memory_order_acquire);
+        if (again == ptr) return ptr;
+        ptr = again;
+      }
+    }
+
+    /// Publishes a pointer obtained by other means (caller must re-validate
+    /// reachability afterwards).
+    void publish_raw(void* ptr) { domain_->publish(index_, ptr); }
+
+    void reset() { domain_->publish(index_, nullptr); }
+
+   private:
+    HazardDomain* domain_;
+    std::size_t index_;
+  };
+
+  /// Acquires a free hazard slot for the calling thread.
+  Holder make_holder();
+
+  /// Defers `deleter(ptr)` until no hazard slot publishes `ptr`.
+  void retire(void* ptr, void (*deleter)(void*));
+
+  template <class T>
+  void retire(T* ptr) {
+    retire(static_cast<void*>(ptr),
+           [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  /// Frees everything whose pointer is not currently published.  Tests call
+  /// this after joining workers to verify nothing leaks.
+  void scan_all();
+
+  std::size_t pending() const {
+    return pending_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+  };
+
+  struct ThreadCtx {
+    std::size_t base_slot = 0;  // first of kPerThread slots
+    std::uint32_t slots_in_use = 0;
+    std::vector<Retired> retired;
+  };
+
+  static constexpr std::size_t kScanThreshold = 128;
+
+  void publish(std::size_t index, void* ptr) {
+    hazards_[index]->store(ptr, std::memory_order_seq_cst);
+  }
+  void clear(std::size_t index);
+  ThreadCtx& context();
+  void scan(ThreadCtx& ctx);
+
+  Padded<std::atomic<void*>> hazards_[kMaxThreads * kPerThread];
+  Padded<std::atomic<void*>> owners_[kMaxThreads];
+
+  std::mutex orphan_mutex_;
+  std::vector<Retired> orphans_;
+  std::atomic<std::size_t> pending_{0};
+
+  friend struct HazardTls;
+};
+
+}  // namespace cats::reclaim

@@ -1,0 +1,64 @@
+// Lock-free skiplist with non-linearizable range queries.
+//
+// Stands in for java.util.concurrent.ConcurrentSkipListMap (`NonAtomicSL` in
+// the paper's evaluation, §7): single-item operations are lock-free and
+// linearizable (Fraser / Herlihy-Shavit scheme with marked next pointers),
+// but a range query simply walks the bottom level and may observe an update
+// in the middle of its traversal — it is NOT an atomic snapshot.  The test
+// suite demonstrates that violation; the benchmarks use it as the
+// "no-snapshot overhead" upper bound for mixed workloads.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/function_ref.hpp"
+#include "common/types.hpp"
+#include "reclaim/ebr.hpp"
+
+namespace cats::skiplist {
+
+class SkipList {
+ public:
+  struct Node;  // opaque; defined in skiplist.cpp
+
+  static constexpr int kMaxLevel = 20;  // supports ~2^20 items at p = 1/2
+
+  explicit SkipList(reclaim::Domain& domain = reclaim::Domain::global());
+  ~SkipList();
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  /// Lock-free; returns true iff the key was not present (the value is
+  /// updated in place — atomically — when it was).
+  bool insert(Key key, Value value);
+
+  /// Lock-free; returns true iff the key was present.
+  bool remove(Key key);
+
+  /// Lock-free (wait-free in the absence of marked nodes on the path).
+  bool lookup(Key key, Value* value_out = nullptr) const;
+
+  /// Walks the bottom level across [lo, hi].  NOT linearizable: concurrent
+  /// updates may be partially observed.
+  void range_query(Key lo, Key hi, ItemVisitor visit) const;
+
+  std::size_t size() const;
+
+  reclaim::Domain& domain() const { return domain_; }
+
+ private:
+  /// Locates the insertion window for `key` on every level, physically
+  /// unlinking marked nodes on the way.  Returns true if an unmarked node
+  /// with `key` is present (then succs[0] is that node).
+  bool find(Key key, Node** preds, Node** succs) const;
+  static int random_level();
+
+  reclaim::Domain& domain_;
+  Node* head_;
+  Node* tail_;
+};
+
+}  // namespace cats::skiplist

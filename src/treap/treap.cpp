@@ -1,0 +1,473 @@
+#include "treap/treap.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+
+namespace cats::treap {
+
+namespace {
+
+std::atomic<std::uint32_t> g_leaf_fill{kLeafCapacity};
+std::atomic<std::size_t> g_live_nodes{0};
+
+}  // namespace
+
+void set_leaf_fill(std::uint32_t fill) {
+  g_leaf_fill.store(std::clamp<std::uint32_t>(fill, 2, kLeafCapacity),
+                    std::memory_order_relaxed);
+}
+
+std::uint32_t leaf_fill() { return g_leaf_fill.load(std::memory_order_relaxed); }
+
+// ---------------------------------------------------------------------------
+// Node layout.  Immutable after construction; `rc` is the only mutable field.
+// ---------------------------------------------------------------------------
+
+struct Node {
+  mutable std::atomic<std::uint64_t> rc;
+  std::uint64_t size;
+  Key min_key;
+  Key max_key;
+  std::uint8_t height;  // leaves have height 1
+  bool is_leaf;
+
+  Node(std::uint64_t size_, Key min_, Key max_, std::uint8_t height_,
+       bool is_leaf_)
+      : rc(1), size(size_), min_key(min_), max_key(max_), height(height_),
+        is_leaf(is_leaf_) {
+    g_live_nodes.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~Node() { g_live_nodes.fetch_sub(1, std::memory_order_relaxed); }
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+};
+
+namespace {
+
+struct Leaf : Node {
+  std::uint32_t count;
+  Item items[kLeafCapacity];
+
+  Leaf(const Item* src, std::uint32_t n)
+      : Node(n, src[0].key, src[n - 1].key, 1, true), count(n) {
+    std::copy_n(src, n, items);
+  }
+};
+
+struct Inner : Node {
+  const Node* left;
+  const Node* right;
+
+  Inner(const Node* l, const Node* r)
+      : Node(l->size + r->size, l->min_key, r->max_key,
+             static_cast<std::uint8_t>(std::max(l->height, r->height) + 1),
+             false),
+        left(l), right(r) {}
+};
+
+inline const Leaf* as_leaf(const Node* n) { return static_cast<const Leaf*>(n); }
+inline const Inner* as_inner(const Node* n) {
+  return static_cast<const Inner*>(n);
+}
+
+inline int h(const Node* n) { return n == nullptr ? 0 : n->height; }
+
+inline const Node* incref_ret(const Node* n) {
+  detail::incref(n);
+  return n;
+}
+
+/// New inner node; takes ownership of both child references.
+const Node* mk_inner(const Node* l, const Node* r) { return new Inner(l, r); }
+
+/// New inner node, rebalancing with AVL rotations when the height difference
+/// is 2 (it never exceeds 2 given single insert/remove/join steps).  Takes
+/// ownership of both references; children are non-null.
+const Node* bal(const Node* l, const Node* r) {
+  const int hl = h(l);
+  const int hr = h(r);
+  if (hl > hr + 1) {
+    const Inner* li = as_inner(l);  // hl >= 3, so l is inner
+    if (h(li->left) >= h(li->right)) {
+      // Single rotation:    (ll, (lr, r))
+      const Node* nr = mk_inner(incref_ret(li->right), r);
+      const Node* res = mk_inner(incref_ret(li->left), nr);
+      detail::decref(l);
+      return res;
+    }
+    // Double rotation:    ((ll, lrl), (lrr, r))
+    const Inner* lri = as_inner(li->right);
+    const Node* a = mk_inner(incref_ret(li->left), incref_ret(lri->left));
+    const Node* b = mk_inner(incref_ret(lri->right), r);
+    detail::decref(l);
+    return mk_inner(a, b);
+  }
+  if (hr > hl + 1) {
+    const Inner* ri = as_inner(r);
+    if (h(ri->right) >= h(ri->left)) {
+      const Node* nl = mk_inner(l, incref_ret(ri->left));
+      const Node* res = mk_inner(nl, incref_ret(ri->right));
+      detail::decref(r);
+      return res;
+    }
+    const Inner* rli = as_inner(ri->left);
+    const Node* a = mk_inner(l, incref_ret(rli->left));
+    const Node* b = mk_inner(incref_ret(rli->right), incref_ret(ri->right));
+    detail::decref(r);
+    return mk_inner(a, b);
+  }
+  return mk_inner(l, r);
+}
+
+const Leaf* make_leaf(const Item* items, std::uint32_t n) {
+  assert(n >= 1 && n <= kLeafCapacity);
+  return new Leaf(items, n);
+}
+
+/// Builds a leaf or a two-leaf inner from a sorted item array that may
+/// exceed the fill limit by one (insert overflow).
+const Node* build_from_items(const Item* items, std::uint32_t n) {
+  if (n <= g_leaf_fill.load(std::memory_order_relaxed)) {
+    return make_leaf(items, n);
+  }
+  const std::uint32_t half = (n + 1) / 2;
+  return mk_inner(make_leaf(items, half), make_leaf(items + half, n - half));
+}
+
+/// Concatenation with rebalancing; all keys in l precede all keys in r.
+/// Takes ownership; either side may be null.
+const Node* join_nodes(const Node* l, const Node* r) {
+  if (l == nullptr) return r;
+  if (r == nullptr) return l;
+  if (l->is_leaf && r->is_leaf &&
+      l->size + r->size <= g_leaf_fill.load(std::memory_order_relaxed)) {
+    Item merged[kLeafCapacity];
+    const Leaf* ll = as_leaf(l);
+    const Leaf* rl = as_leaf(r);
+    std::copy_n(ll->items, ll->count, merged);
+    std::copy_n(rl->items, rl->count, merged + ll->count);
+    const Node* res = make_leaf(merged, ll->count + rl->count);
+    detail::decref(l);
+    detail::decref(r);
+    return res;
+  }
+  if (h(l) > h(r) + 1) {
+    const Inner* li = as_inner(l);
+    const Node* a = incref_ret(li->left);
+    const Node* b = join_nodes(incref_ret(li->right), r);
+    detail::decref(l);
+    return bal(a, b);
+  }
+  if (h(r) > h(l) + 1) {
+    const Inner* ri = as_inner(r);
+    const Node* a = join_nodes(l, incref_ret(ri->left));
+    const Node* b = incref_ret(ri->right);
+    detail::decref(r);
+    return bal(a, b);
+  }
+  return mk_inner(l, r);
+}
+
+const Node* insert_rec(const Node* n, Key key, Value value, bool* replaced) {
+  if (n->is_leaf) {
+    const Leaf* leaf = as_leaf(n);
+    const Item* end = leaf->items + leaf->count;
+    const Item* pos = std::lower_bound(
+        leaf->items, end, key,
+        [](const Item& item, Key k) { return item.key < k; });
+    Item buffer[kLeafCapacity + 1];
+    const auto prefix = static_cast<std::uint32_t>(pos - leaf->items);
+    std::copy_n(leaf->items, prefix, buffer);
+    buffer[prefix] = Item{key, value};
+    if (pos != end && pos->key == key) {
+      *replaced = true;
+      std::copy(pos + 1, end, buffer + prefix + 1);
+      return make_leaf(buffer, leaf->count);
+    }
+    std::copy(pos, end, buffer + prefix + 1);
+    return build_from_items(buffer, leaf->count + 1);
+  }
+  const Inner* in = as_inner(n);
+  if (key < in->right->min_key) {
+    const Node* nl = insert_rec(in->left, key, value, replaced);
+    return bal(nl, incref_ret(in->right));
+  }
+  const Node* nr = insert_rec(in->right, key, value, replaced);
+  return bal(incref_ret(in->left), nr);
+}
+
+/// Returns the new subtree (owned, possibly null) after removing `key`.
+const Node* remove_rec(const Node* n, Key key, bool* removed) {
+  if (n->is_leaf) {
+    const Leaf* leaf = as_leaf(n);
+    const Item* end = leaf->items + leaf->count;
+    const Item* pos = std::lower_bound(
+        leaf->items, end, key,
+        [](const Item& item, Key k) { return item.key < k; });
+    if (pos == end || pos->key != key) return incref_ret(n);
+    *removed = true;
+    if (leaf->count == 1) return nullptr;
+    Item buffer[kLeafCapacity];
+    const auto prefix = static_cast<std::uint32_t>(pos - leaf->items);
+    std::copy_n(leaf->items, prefix, buffer);
+    std::copy(pos + 1, end, buffer + prefix);
+    return make_leaf(buffer, leaf->count - 1);
+  }
+  const Inner* in = as_inner(n);
+  if (key <= in->left->max_key) {
+    const Node* nl = remove_rec(in->left, key, removed);
+    if (!*removed) {
+      detail::decref(nl);
+      return incref_ret(n);
+    }
+    if (nl == nullptr) return incref_ret(in->right);
+    return bal(nl, incref_ret(in->right));
+  }
+  if (key >= in->right->min_key) {
+    const Node* nr = remove_rec(in->right, key, removed);
+    if (!*removed) {
+      detail::decref(nr);
+      return incref_ret(n);
+    }
+    if (nr == nullptr) return incref_ret(in->left);
+    return bal(incref_ret(in->left), nr);
+  }
+  return incref_ret(n);  // key falls in the gap between subtrees: absent
+}
+
+/// Splits into (< key, >= key); outputs owned, possibly null.
+void split_rec(const Node* n, Key key, const Node** lo_out,
+               const Node** hi_out) {
+  if (n == nullptr) {
+    *lo_out = nullptr;
+    *hi_out = nullptr;
+    return;
+  }
+  if (n->is_leaf) {
+    const Leaf* leaf = as_leaf(n);
+    const Item* end = leaf->items + leaf->count;
+    const Item* pos = std::lower_bound(
+        leaf->items, end, key,
+        [](const Item& item, Key k) { return item.key < k; });
+    const auto prefix = static_cast<std::uint32_t>(pos - leaf->items);
+    *lo_out = prefix == 0 ? nullptr : make_leaf(leaf->items, prefix);
+    *hi_out = prefix == leaf->count ? nullptr
+                                    : make_leaf(pos, leaf->count - prefix);
+    return;
+  }
+  const Inner* in = as_inner(n);
+  if (key <= in->left->max_key) {
+    const Node* a = nullptr;
+    const Node* b = nullptr;
+    split_rec(in->left, key, &a, &b);
+    *lo_out = a;
+    *hi_out = join_nodes(b, incref_ret(in->right));
+  } else {
+    const Node* a = nullptr;
+    const Node* b = nullptr;
+    split_rec(in->right, key, &a, &b);
+    *lo_out = join_nodes(incref_ret(in->left), a);
+    *hi_out = b;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Reference counting.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+void incref(const Node* node) noexcept {
+  node->rc.fetch_add(1, std::memory_order_relaxed);
+}
+
+void decref(const Node* node) noexcept {
+  while (node != nullptr) {
+    if (node->rc.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+    if (node->is_leaf) {
+      delete static_cast<const Leaf*>(node);
+      return;
+    }
+    const Inner* inner = static_cast<const Inner*>(node);
+    const Node* left = inner->left;
+    const Node* right = inner->right;
+    delete inner;
+    decref(left);   // bounded by tree height
+    node = right;   // iterate down the other spine
+  }
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Public API.
+// ---------------------------------------------------------------------------
+
+bool lookup(const Node* tree, Key key, Value* value_out) {
+  const Node* n = tree;
+  if (n == nullptr) return false;
+  while (!n->is_leaf) {
+    const Inner* in = as_inner(n);
+    n = key <= in->left->max_key ? in->left : in->right;
+  }
+  const Leaf* leaf = as_leaf(n);
+  const Item* end = leaf->items + leaf->count;
+  const Item* pos = std::lower_bound(
+      leaf->items, end, key,
+      [](const Item& item, Key k) { return item.key < k; });
+  if (pos == end || pos->key != key) return false;
+  if (value_out != nullptr) *value_out = pos->value;
+  return true;
+}
+
+std::size_t size(const Node* tree) { return tree == nullptr ? 0 : tree->size; }
+
+bool empty(const Node* tree) { return tree == nullptr; }
+
+bool less_than_two_items(const Node* tree) { return size(tree) < 2; }
+
+Key min_key(const Node* tree) {
+  assert(tree != nullptr);
+  return tree->min_key;
+}
+
+Key max_key(const Node* tree) {
+  assert(tree != nullptr);
+  return tree->max_key;
+}
+
+void for_range(const Node* tree, Key lo, Key hi, ItemVisitor visit) {
+  if (tree == nullptr || tree->max_key < lo || tree->min_key > hi) return;
+  if (tree->is_leaf) {
+    const Leaf* leaf = as_leaf(tree);
+    const Item* end = leaf->items + leaf->count;
+    const Item* pos = std::lower_bound(
+        leaf->items, end, lo,
+        [](const Item& item, Key k) { return item.key < k; });
+    for (; pos != end && pos->key <= hi; ++pos) visit(pos->key, pos->value);
+    return;
+  }
+  const Inner* in = as_inner(tree);
+  for_range(in->left, lo, hi, visit);
+  for_range(in->right, lo, hi, visit);
+}
+
+void for_all(const Node* tree, ItemVisitor visit) {
+  for_range(tree, kKeyMin, kKeyMax, visit);
+}
+
+Key select(const Node* tree, std::size_t index) {
+  assert(tree != nullptr && index < tree->size);
+  const Node* n = tree;
+  while (!n->is_leaf) {
+    const Inner* in = as_inner(n);
+    if (index < in->left->size) {
+      n = in->left;
+    } else {
+      index -= in->left->size;
+      n = in->right;
+    }
+  }
+  return as_leaf(n)->items[index].key;
+}
+
+Ref insert(const Node* tree, Key key, Value value, bool* replaced_out) {
+  bool replaced = false;
+  const Node* result;
+  if (tree == nullptr) {
+    const Item item{key, value};
+    result = make_leaf(&item, 1);
+  } else {
+    result = insert_rec(tree, key, value, &replaced);
+  }
+  if (replaced_out != nullptr) *replaced_out = replaced;
+  return Ref::adopt(result);
+}
+
+Ref remove(const Node* tree, Key key, bool* removed_out) {
+  bool removed = false;
+  const Node* result =
+      tree == nullptr ? nullptr : remove_rec(tree, key, &removed);
+  if (removed_out != nullptr) *removed_out = removed;
+  return Ref::adopt(result);
+}
+
+Ref join(const Node* left, const Node* right) {
+  assert(left == nullptr || right == nullptr ||
+         left->max_key < right->min_key);
+  const Node* l = left;
+  const Node* r = right;
+  if (l != nullptr) detail::incref(l);
+  if (r != nullptr) detail::incref(r);
+  return Ref::adopt(join_nodes(l, r));
+}
+
+void split(const Node* tree, Key key, Ref* left_out, Ref* right_out) {
+  const Node* lo = nullptr;
+  const Node* hi = nullptr;
+  split_rec(tree, key, &lo, &hi);
+  *left_out = Ref::adopt(lo);
+  *right_out = Ref::adopt(hi);
+}
+
+void split_evenly(const Node* tree, Ref* left_out, Ref* right_out,
+                  Key* split_key_out) {
+  assert(size(tree) >= 2);
+  const Key pivot = select(tree, tree->size / 2);
+  split(tree, pivot, left_out, right_out);
+  *split_key_out = pivot;
+}
+
+std::size_t height(const Node* tree) { return tree == nullptr ? 0 : tree->height; }
+
+std::size_t leaf_count(const Node* tree) {
+  if (tree == nullptr) return 0;
+  if (tree->is_leaf) return 1;
+  const Inner* in = as_inner(tree);
+  return leaf_count(in->left) + leaf_count(in->right);
+}
+
+namespace {
+
+bool check_rec(const Node* n) {
+  if (n->rc.load(std::memory_order_relaxed) == 0) return false;
+  if (n->is_leaf) {
+    const Leaf* leaf = as_leaf(n);
+    if (leaf->count < 1 || leaf->count > kLeafCapacity) return false;
+    if (leaf->size != leaf->count) return false;
+    if (leaf->min_key != leaf->items[0].key) return false;
+    if (leaf->max_key != leaf->items[leaf->count - 1].key) return false;
+    for (std::uint32_t i = 1; i < leaf->count; ++i) {
+      if (leaf->items[i - 1].key >= leaf->items[i].key) return false;
+    }
+    return leaf->height == 1;
+  }
+  const Inner* in = as_inner(n);
+  if (in->left == nullptr || in->right == nullptr) return false;
+  if (in->left->max_key >= in->right->min_key) return false;
+  if (in->size != in->left->size + in->right->size) return false;
+  if (in->min_key != in->left->min_key) return false;
+  if (in->max_key != in->right->max_key) return false;
+  if (in->height != std::max(in->left->height, in->right->height) + 1) {
+    return false;
+  }
+  if (std::abs(h(in->left) - h(in->right)) > 1) return false;
+  return check_rec(in->left) && check_rec(in->right);
+}
+
+}  // namespace
+
+bool check_invariants(const Node* tree) {
+  return tree == nullptr || check_rec(tree);
+}
+
+std::size_t live_nodes() {
+  return g_live_nodes.load(std::memory_order_relaxed);
+}
+
+}  // namespace cats::treap

@@ -1,0 +1,165 @@
+// Immutable (persistent) ordered leaf container with fat leaves.
+//
+// This is the "leaf container" of the paper (§2, §7): an immutable balanced
+// search tree storing the actual items of each base node.  The paper's
+// implementation uses a randomized treap whose fat leaf nodes hold arrays of
+// up to 64 items; it also notes (§2) that any persistent balanced tree with
+// O(log n) updates and O(log n) split/join works (red-black trees, treaps,
+// ...).  We keep the fat-leaf layout — that is what gives range queries their
+// cache behaviour — but balance with deterministic AVL-style heights instead
+// of random priorities: identical asymptotics, reproducible shapes for
+// testing.  The module keeps the paper's `treap` name since it fills exactly
+// the `treap_*` role of the pseudo-code.
+//
+// All nodes are immutable after construction and intrusively reference
+// counted.  Persistent versions share subtrees; sharing forms a DAG of
+// immutable nodes, so plain reference counting is sound (no cycles).  Every
+// operation is a pure function: inputs are never consumed, outputs carry
+// fresh references owned by the caller (wrapped in `Ref`).
+//
+// Complexity (n items, fat leaves of up to kLeafCapacity items):
+//   lookup                O(log n)
+//   insert / remove       O(log n)        (path copying)
+//   join / split          O(log n)
+//   split_evenly          O(log n)
+//   for_range             O(log n + k)    (k items reported)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "common/function_ref.hpp"
+#include "common/types.hpp"
+
+namespace cats::treap {
+
+/// Physical capacity of a fat leaf.  The *effective* fill limit is the
+/// runtime knob `set_leaf_fill` (<= kLeafCapacity), used by the ablation
+/// benchmarks; the paper's evaluation uses 64.
+inline constexpr std::uint32_t kLeafCapacity = 64;
+
+/// Sets the effective leaf fill limit (clamped to [2, kLeafCapacity]).
+/// Affects leaves created afterwards; existing trees remain valid.
+void set_leaf_fill(std::uint32_t fill);
+std::uint32_t leaf_fill();
+
+struct Node;  // opaque; defined in treap.cpp
+
+namespace detail {
+void incref(const Node* node) noexcept;
+void decref(const Node* node) noexcept;
+}  // namespace detail
+
+/// Shared-ownership handle to an immutable tree.  A default-constructed Ref
+/// is the empty container.
+class Ref {
+ public:
+  Ref() noexcept = default;
+  /// Adopts an already-owned reference (used by the implementation).
+  static Ref adopt(const Node* node) noexcept {
+    Ref ref;
+    ref.node_ = node;
+    return ref;
+  }
+
+  Ref(const Ref& other) noexcept : node_(other.node_) {
+    if (node_ != nullptr) detail::incref(node_);
+  }
+  Ref(Ref&& other) noexcept : node_(std::exchange(other.node_, nullptr)) {}
+  Ref& operator=(const Ref& other) noexcept {
+    Ref copy(other);
+    swap(copy);
+    return *this;
+  }
+  Ref& operator=(Ref&& other) noexcept {
+    Ref moved(std::move(other));
+    swap(moved);
+    return *this;
+  }
+  ~Ref() {
+    if (node_ != nullptr) detail::decref(node_);
+  }
+
+  void swap(Ref& other) noexcept { std::swap(node_, other.node_); }
+  const Node* get() const noexcept { return node_; }
+  explicit operator bool() const noexcept { return node_ != nullptr; }
+
+  /// Releases ownership without decrementing (for handoff into atomics).
+  const Node* release() noexcept { return std::exchange(node_, nullptr); }
+
+ private:
+  const Node* node_ = nullptr;
+};
+
+// --- Queries (accept raw node pointers so lock-free readers can use them
+// --- on pointers protected by an epoch guard rather than a Ref). ----------
+
+/// Looks up `key`; writes the value through `value_out` (may be null).
+bool lookup(const Node* tree, Key key, Value* value_out);
+
+std::size_t size(const Node* tree);
+bool empty(const Node* tree);
+/// True if the container holds fewer than two items (split precondition).
+bool less_than_two_items(const Node* tree);
+/// Smallest / largest key.  Precondition: !empty(tree).
+Key min_key(const Node* tree);
+Key max_key(const Node* tree);
+
+/// Visits every item with lo <= key <= hi in ascending key order.
+void for_range(const Node* tree, Key lo, Key hi, ItemVisitor visit);
+/// Visits every item in ascending key order.
+void for_all(const Node* tree, ItemVisitor visit);
+
+/// Key of rank `index` (0-based, ascending).  Precondition: index < size.
+Key select(const Node* tree, std::size_t index);
+
+// --- Persistent updates (pure; inputs not consumed). ----------------------
+
+/// Returns a version with (key, value) present.  `*replaced_out` (may be
+/// null) is set to true iff an existing item with `key` was overwritten.
+Ref insert(const Node* tree, Key key, Value value,
+           bool* replaced_out = nullptr);
+
+/// Returns a version without `key`.  `*removed_out` (may be null) is set to
+/// true iff an item was removed.
+Ref remove(const Node* tree, Key key, bool* removed_out = nullptr);
+
+/// Concatenates two trees; every key in `left` must be smaller than every
+/// key in `right`.
+Ref join(const Node* left, const Node* right);
+
+/// Splits by key: `left_out` receives keys < key, `right_out` keys >= key.
+void split(const Node* tree, Key key, Ref* left_out, Ref* right_out);
+
+/// Splits into halves of (nearly) equal size.  `split_key_out` receives the
+/// smallest key of the right half (route-node semantics: < key goes left).
+/// Precondition: size(tree) >= 2.
+void split_evenly(const Node* tree, Ref* left_out, Ref* right_out,
+                  Key* split_key_out);
+
+// --- Introspection for tests and statistics. ------------------------------
+
+/// Height of the tree (empty = 0, single leaf = 1).
+std::size_t height(const Node* tree);
+/// Number of fat leaves.
+std::size_t leaf_count(const Node* tree);
+/// Verifies all structural invariants (ordering, balance, sizes, min/max
+/// caches, leaf fill bounds).  Returns true if they all hold.
+bool check_invariants(const Node* tree);
+/// Total live node count across all trees (leak detection in tests).
+std::size_t live_nodes();
+
+// Convenience overloads on Ref.
+inline bool lookup(const Ref& t, Key k, Value* v) { return lookup(t.get(), k, v); }
+inline std::size_t size(const Ref& t) { return size(t.get()); }
+inline bool empty(const Ref& t) { return empty(t.get()); }
+inline Ref insert(const Ref& t, Key k, Value v, bool* r = nullptr) {
+  return insert(t.get(), k, v, r);
+}
+inline Ref remove(const Ref& t, Key k, bool* r = nullptr) {
+  return remove(t.get(), k, r);
+}
+inline Ref join(const Ref& l, const Ref& r) { return join(l.get(), r.get()); }
+
+}  // namespace cats::treap

@@ -1,0 +1,136 @@
+// Tests for the common utilities: RNG quality basics, FunctionRef
+// type erasure, SpinBarrier correctness and Backoff bounds.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/backoff.hpp"
+#include "common/function_ref.hpp"
+#include "common/padded.hpp"
+#include "common/rng.hpp"
+#include "common/spin_barrier.hpp"
+
+namespace cats {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  Xoshiro256 c(43);
+  int same = 0;
+  Xoshiro256 a2(42);
+  for (int i = 0; i < 100; ++i) same += (a2.next() == c.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowIsInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    const std::int64_t v = rng.next_in(-5, 9);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, NextInCoversBothEndpoints) {
+  Xoshiro256 rng(3);
+  bool low = false;
+  bool high = false;
+  for (int i = 0; i < 10'000 && !(low && high); ++i) {
+    const std::int64_t v = rng.next_in(0, 7);
+    low |= (v == 0);
+    high |= (v == 7);
+  }
+  EXPECT_TRUE(low);
+  EXPECT_TRUE(high);
+}
+
+TEST(Rng, UniformityCoarse) {
+  Xoshiro256 rng(99);
+  int buckets[8] = {};
+  constexpr int kDraws = 80'000;
+  for (int i = 0; i < kDraws; ++i) ++buckets[rng.next_below(8)];
+  for (int b : buckets) {
+    EXPECT_GT(b, kDraws / 8 * 0.9);
+    EXPECT_LT(b, kDraws / 8 * 1.1);
+  }
+}
+
+TEST(Rng, Splitmix64AdvancesState) {
+  std::uint64_t s = 1;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+  EXPECT_NE(mix64(1), mix64(2));
+}
+
+TEST(FunctionRefTest, CallsLambdaWithCaptures) {
+  int sum = 0;
+  // FunctionRef is non-owning: the callable must outlive it, so bind it to
+  // a named object (initializing a FunctionRef variable from a temporary
+  // lambda would dangle — that is the documented usage contract).
+  auto lambda = [&](Key k, Value v) { sum += static_cast<int>(k + v); };
+  FunctionRef<void(Key, Value)> visit = lambda;
+  visit(1, 2);
+  visit(3, 4);
+  EXPECT_EQ(sum, 10);
+}
+
+TEST(FunctionRefTest, WorksWithFunctionPointersAndReturns) {
+  struct Helper {
+    static Value twice(Key k, Value v) {
+      return v * 2 + static_cast<Value>(k) * 0;
+    }
+  };
+  FunctionRef<Value(Key, Value)> f = Helper::twice;
+  EXPECT_EQ(f(0, 21), 42u);
+}
+
+TEST(PaddedTest, ElementsOnDistinctCacheLines) {
+  Padded<std::atomic<int>> a[4];
+  for (int i = 1; i < 4; ++i) {
+    const auto delta = reinterpret_cast<char*>(&a[i]) -
+                       reinterpret_cast<char*>(&a[i - 1]);
+    EXPECT_GE(delta, static_cast<long>(kCacheLine));
+  }
+}
+
+TEST(SpinBarrierTest, SynchronizesRounds) {
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 200;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        counter.fetch_add(1);
+        barrier.arrive_and_wait();
+        // After the barrier, every thread of this round has incremented.
+        if (counter.load() < (round + 1) * kThreads) violations.fetch_add(1);
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(counter.load(), kThreads * kRounds);
+}
+
+TEST(BackoffTest, SpinsAreBounded) {
+  Backoff backoff;
+  // Must terminate quickly even after many escalations.
+  for (int i = 0; i < 200; ++i) backoff.spin();
+  backoff.reset();
+  backoff.spin();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace cats

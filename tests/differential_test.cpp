@@ -1,0 +1,117 @@
+// Differential fuzzing: every structure in the repository executes the
+// same pseudo-random operation stream and must produce bit-identical
+// results — return values, lookup payloads, and full range-query contents —
+// to a reference std::map and hence to each other.  Parameterized over
+// seeds and key densities; any divergence pinpoints the op index.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "calock/ca_tree.hpp"
+#include "common/rng.hpp"
+#include "imtr/imtr_set.hpp"
+#include "kary/kary_tree.hpp"
+#include "lfca/lfca_tree.hpp"
+#include "skiplist/skiplist.hpp"
+#include "vskip/versioned_skiplist.hpp"
+
+namespace cats {
+namespace {
+
+struct FuzzParams {
+  std::uint64_t seed;
+  int operations;
+  Key key_range;
+};
+
+template <class S>
+class DifferentialFuzz : public ::testing::Test {};
+
+using AllStructures =
+    ::testing::Types<lfca::LfcaTree, lfca::LfcaTreeChunk, calock::CaTree,
+                     kary::KaryTree, imtr::ImTreeSet, skiplist::SkipList,
+                     vskip::VersionedSkipList>;
+TYPED_TEST_SUITE(DifferentialFuzz, AllStructures);
+
+template <class S>
+void run_stream(const FuzzParams& params) {
+  S structure;
+  std::map<Key, Value> model;
+  Xoshiro256 rng(params.seed);
+
+  for (int i = 0; i < params.operations; ++i) {
+    const Key k = rng.next_in(1, params.key_range);
+    const auto kind = rng.next_below(10);
+    if (kind < 4) {
+      const Value v = rng.next() | 1;
+      ASSERT_EQ(structure.insert(k, v), model.count(k) == 0)
+          << "insert mismatch at op " << i << " seed " << params.seed;
+      model[k] = v;
+    } else if (kind < 6) {
+      ASSERT_EQ(structure.remove(k), model.erase(k) == 1)
+          << "remove mismatch at op " << i << " seed " << params.seed;
+    } else if (kind < 9) {
+      Value v = 0;
+      const bool found = structure.lookup(k, &v);
+      auto it = model.find(k);
+      ASSERT_EQ(found, it != model.end())
+          << "lookup mismatch at op " << i << " seed " << params.seed;
+      if (found) {
+        ASSERT_EQ(v, it->second)
+            << "lookup value mismatch at op " << i << " seed "
+            << params.seed;
+      }
+    } else {
+      const Key span = rng.next_in(0, params.key_range / 4);
+      const Key hi = k + span;
+      std::vector<Item> got;
+      structure.range_query(k, hi,
+                            [&](Key key, Value v) { got.push_back({key, v}); });
+      std::vector<Item> want;
+      for (auto it = model.lower_bound(k);
+           it != model.end() && it->first <= hi; ++it) {
+        want.push_back({it->first, it->second});
+      }
+      ASSERT_EQ(got.size(), want.size())
+          << "range size mismatch at op " << i << " seed " << params.seed;
+      for (std::size_t j = 0; j < got.size(); ++j) {
+        ASSERT_EQ(got[j].key, want[j].key) << "op " << i;
+        ASSERT_EQ(got[j].value, want[j].value) << "op " << i;
+      }
+    }
+  }
+  ASSERT_EQ(structure.size(), model.size());
+}
+
+TYPED_TEST(DifferentialFuzz, DenseKeys) {
+  run_stream<TypeParam>({101, 6000, 300});
+}
+
+TYPED_TEST(DifferentialFuzz, MediumDensity) {
+  run_stream<TypeParam>({202, 6000, 5000});
+}
+
+TYPED_TEST(DifferentialFuzz, SparseKeys) {
+  run_stream<TypeParam>({303, 4000, 1'000'000});
+}
+
+TYPED_TEST(DifferentialFuzz, RemoveHeavy) {
+  // A second generator biases toward removals by replaying inserts first.
+  TypeParam structure;
+  std::map<Key, Value> model;
+  Xoshiro256 rng(404);
+  for (int i = 0; i < 2000; ++i) {
+    const Key k = rng.next_in(1, 800);
+    structure.insert(k, 7);
+    model[k] = 7;
+  }
+  for (int i = 0; i < 4000; ++i) {
+    const Key k = rng.next_in(1, 800);
+    ASSERT_EQ(structure.remove(k), model.erase(k) == 1) << "op " << i;
+  }
+  ASSERT_EQ(structure.size(), model.size());
+}
+
+}  // namespace
+}  // namespace cats

@@ -1,0 +1,92 @@
+// Tests for the benchmark harness itself: workload descriptions, the
+// pre-fill contract, operation-mix proportions and the paper's sanity
+// statistic (average items traversed per range query).
+#include <gtest/gtest.h>
+
+#include "harness/runner.hpp"
+#include "harness/workload.hpp"
+#include "imtr/imtr_set.hpp"
+#include "lfca/lfca_tree.hpp"
+
+namespace cats::harness {
+namespace {
+
+TEST(Workload, DescribeMatchesPaperNotation) {
+  EXPECT_EQ(Mix::of_percent(20, 55, 25, 1000).describe(),
+            "w:20% r:55% q:25%-1000");
+  EXPECT_EQ(Mix::of_percent(50, 50, 0).describe(), "w:50% r:50% q:0%");
+  EXPECT_EQ(Mix::of_percent(0, 0, 100, 128, true).describe(),
+            "w:0% r:0% q:100%-128 (fixed)");
+}
+
+TEST(Workload, PermilleSumsTo1000) {
+  const Mix mix = Mix::of_percent(20, 55, 25, 10);
+  EXPECT_EQ(mix.update_permille + mix.lookup_permille + mix.range_permille,
+            1000u);
+}
+
+TEST(Prefill, FillsToExactlyHalf) {
+  imtr::ImTreeSet set;
+  prefill(set, 10'000);
+  EXPECT_EQ(set.size(), 5'000u);
+  // Keys are within [1, S-1].
+  std::size_t bad = 0;
+  set.range_query(kKeyMin, kKeyMax, [&](Key k, Value) {
+    if (k < 1 || k > 9'999) ++bad;
+  });
+  EXPECT_EQ(bad, 0u);
+}
+
+TEST(Runner, CountsOperationsAndStops) {
+  lfca::LfcaTree tree;
+  prefill(tree, 10'000);
+  const Mix mix = Mix::of_percent(20, 55, 25, 100);
+  const RunResult r = run_mix(tree, 2, mix, 10'000, 0.1);
+  EXPECT_GT(r.total_ops, 0u);
+  EXPECT_GT(r.seconds, 0.05);
+  EXPECT_LT(r.seconds, 5.0);
+  EXPECT_EQ(r.total_ops, r.group_ops[0]);
+}
+
+TEST(Runner, GroupsAreCountedSeparately) {
+  lfca::LfcaTree tree;
+  prefill(tree, 10'000);
+  const RunResult r = run_mix(
+      tree,
+      {ThreadGroup{1, Mix::of_percent(100, 0, 0)},
+       ThreadGroup{1, Mix::of_percent(0, 100, 0)}},
+      10'000, 0.1);
+  EXPECT_EQ(r.total_ops, r.group_ops[0] + r.group_ops[1]);
+  EXPECT_GT(r.group_ops[0], 0u);
+  EXPECT_GT(r.group_ops[1], 0u);
+  EXPECT_EQ(r.range_queries, 0u);
+}
+
+// The paper's sanity check (§7): with keys uniform over [0, S), a structure
+// holding S/2 items and range sizes uniform in [1, R], a range query covers
+// about R/4 items on average (expected span R/2, half the keys present).
+TEST(Runner, RangeItemsSanityCheck) {
+  lfca::LfcaTree tree;
+  constexpr Key kS = 100'000;
+  prefill(tree, kS);
+  const Mix mix = Mix::of_percent(0, 0, 100, 1000);
+  const RunResult r = run_mix(tree, 2, mix, kS, 0.2);
+  ASSERT_GT(r.range_queries, 100u);
+  const double avg = r.items_per_range_query();
+  EXPECT_GT(avg, 1000.0 / 4 * 0.7);
+  EXPECT_LT(avg, 1000.0 / 4 * 1.3);
+}
+
+TEST(Runner, FixedRangeSizesAreExact) {
+  imtr::ImTreeSet set;
+  // Fully populate so a fixed-size range always covers exactly `size` keys.
+  for (Key k = 1; k < 2'000; ++k) set.insert(k, 1);
+  Mix mix = Mix::of_percent(0, 0, 100, 64, /*fixed=*/true);
+  const RunResult r = run_mix(set, 1, mix, 1'000, 0.05);
+  ASSERT_GT(r.range_queries, 0u);
+  // Every query spans exactly 64 keys, all present.
+  EXPECT_DOUBLE_EQ(r.items_per_range_query(), 64.0);
+}
+
+}  // namespace
+}  // namespace cats::harness

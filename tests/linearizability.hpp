@@ -1,0 +1,127 @@
+// A small linearizability checker for ordered-set histories (Wing & Gong
+// style search with memoization).
+//
+// Histories record invocation/response timestamps of concurrent operations
+// over a tiny key universe (<= 16 keys), so the sequential state fits in a
+// 16-bit presence mask.  The checker searches for a total order of the
+// operations that (a) respects real-time precedence (A before B if A's
+// response precedes B's invocation) and (b) is legal for set semantics:
+//
+//   insert(k) -> true iff k absent;  remove(k) -> true iff k present;
+//   lookup(k) -> presence;           range(lo,hi) -> exact present subset.
+//
+// The search is exponential in the width of concurrency, which tiny
+// histories keep tractable; a node budget turns pathological cases into
+// "inconclusive" rather than hanging the test suite.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace cats::lintest {
+
+enum class OpType { kInsert, kRemove, kLookup, kRange };
+
+struct Operation {
+  OpType type;
+  int key = 0;          // insert/remove/lookup
+  int lo = 0, hi = 0;   // range
+  bool returned = false;          // insert/remove/lookup result
+  std::uint16_t range_mask = 0;   // range result as a presence bitmask
+  std::uint64_t invoke_ns = 0;
+  std::uint64_t response_ns = 0;
+};
+
+enum class Verdict { kLinearizable, kViolation, kInconclusive };
+
+class Checker {
+ public:
+  explicit Checker(std::vector<Operation> history,
+                   std::uint16_t initial_mask = 0,
+                   std::size_t node_budget = 4'000'000)
+      : ops_(std::move(history)), initial_(initial_mask),
+        budget_(node_budget) {}
+
+  Verdict check() {
+    const std::size_t n = ops_.size();
+    if (n == 0) return Verdict::kLinearizable;
+    if (n > 63) return Verdict::kInconclusive;  // bitmask limit
+    // Precompute precedence: pred_mask[i] = ops that must precede op i.
+    pred_mask_.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (ops_[j].response_ns < ops_[i].invoke_ns) {
+          pred_mask_[i] |= std::uint64_t{1} << j;
+        }
+      }
+    }
+    seen_.clear();
+    nodes_ = 0;
+    const int result = dfs(0, initial_);
+    if (result == 1) return Verdict::kLinearizable;
+    if (result == 0) return Verdict::kViolation;
+    return Verdict::kInconclusive;
+  }
+
+ private:
+  /// Returns 1 = linearizable, 0 = no order found, -1 = budget exhausted.
+  int dfs(std::uint64_t done, std::uint16_t state) {
+    if (done == (std::uint64_t{1} << ops_.size()) - 1) return 1;
+    if (++nodes_ > budget_) return -1;
+    const std::uint64_t memo_key =
+        done * 0x10001ull + state;  // (done, state) pair
+    if (!seen_.insert(memo_key).second) return 0;
+    bool inconclusive = false;
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      const std::uint64_t bit = std::uint64_t{1} << i;
+      if (done & bit) continue;
+      if ((pred_mask_[i] & ~done) != 0) continue;  // a predecessor pending
+      std::uint16_t next_state = state;
+      if (!apply(ops_[i], &next_state)) continue;  // illegal here
+      const int sub = dfs(done | bit, next_state);
+      if (sub == 1) return 1;
+      if (sub == -1) inconclusive = true;
+    }
+    return inconclusive ? -1 : 0;
+  }
+
+  static bool apply(const Operation& op, std::uint16_t* state) {
+    const std::uint16_t key_bit =
+        static_cast<std::uint16_t>(1u << (op.key & 15));
+    switch (op.type) {
+      case OpType::kInsert: {
+        const bool was_present = (*state & key_bit) != 0;
+        if (op.returned != !was_present) return false;
+        *state |= key_bit;
+        return true;
+      }
+      case OpType::kRemove: {
+        const bool was_present = (*state & key_bit) != 0;
+        if (op.returned != was_present) return false;
+        *state &= static_cast<std::uint16_t>(~key_bit);
+        return true;
+      }
+      case OpType::kLookup:
+        return op.returned == ((*state & key_bit) != 0);
+      case OpType::kRange: {
+        std::uint16_t window = 0;
+        for (int k = op.lo; k <= op.hi; ++k) {
+          window |= static_cast<std::uint16_t>(1u << (k & 15));
+        }
+        return (*state & window) == op.range_mask;
+      }
+    }
+    return false;
+  }
+
+  std::vector<Operation> ops_;
+  std::vector<std::uint64_t> pred_mask_;
+  const std::uint16_t initial_;
+  const std::size_t budget_;
+  std::size_t nodes_ = 0;
+  std::unordered_set<std::uint64_t> seen_;
+};
+
+}  // namespace cats::lintest

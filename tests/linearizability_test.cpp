@@ -1,0 +1,220 @@
+// Linearizability smoke checks: record real concurrent histories over a
+// tiny key universe and verify a legal sequential order exists (see
+// linearizability.hpp).  The checker itself is tested first against
+// hand-crafted legal and illegal histories.
+#include "linearizability.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "calock/ca_tree.hpp"
+#include "common/rng.hpp"
+#include "common/spin_barrier.hpp"
+#include "imtr/imtr_set.hpp"
+#include "lfca/lfca_tree.hpp"
+
+namespace cats::lintest {
+namespace {
+
+Operation op(OpType t, int key, bool ret, std::uint64_t inv,
+             std::uint64_t res) {
+  Operation o;
+  o.type = t;
+  o.key = key;
+  o.returned = ret;
+  o.invoke_ns = inv;
+  o.response_ns = res;
+  return o;
+}
+
+TEST(Checker, AcceptsSequentialLegalHistory) {
+  std::vector<Operation> h = {
+      op(OpType::kInsert, 1, true, 0, 1),
+      op(OpType::kLookup, 1, true, 2, 3),
+      op(OpType::kRemove, 1, true, 4, 5),
+      op(OpType::kLookup, 1, false, 6, 7),
+  };
+  EXPECT_EQ(Checker(h).check(), Verdict::kLinearizable);
+}
+
+TEST(Checker, RejectsSequentialIllegalHistory) {
+  std::vector<Operation> h = {
+      op(OpType::kInsert, 1, true, 0, 1),
+      op(OpType::kLookup, 1, false, 2, 3),  // must have seen key 1
+  };
+  EXPECT_EQ(Checker(h).check(), Verdict::kViolation);
+}
+
+TEST(Checker, AcceptsConcurrentReordering) {
+  // insert(1) overlaps lookup(1)=false: legal (lookup linearizes first).
+  std::vector<Operation> h = {
+      op(OpType::kInsert, 1, true, 0, 10),
+      op(OpType::kLookup, 1, false, 1, 9),
+  };
+  EXPECT_EQ(Checker(h).check(), Verdict::kLinearizable);
+}
+
+TEST(Checker, RejectsStaleReadAfterResponse) {
+  // insert(1) completed strictly before the lookup began, so the lookup
+  // must see it.
+  std::vector<Operation> h = {
+      op(OpType::kInsert, 1, true, 0, 1),
+      op(OpType::kLookup, 1, false, 5, 6),
+  };
+  EXPECT_EQ(Checker(h).check(), Verdict::kViolation);
+}
+
+TEST(Checker, RangeResultsConstrainOrder) {
+  Operation range;
+  range.type = OpType::kRange;
+  range.lo = 0;
+  range.hi = 3;
+  range.range_mask = 0b0010;  // saw key 1 only
+  range.invoke_ns = 2;
+  range.response_ns = 3;
+  std::vector<Operation> h = {
+      op(OpType::kInsert, 1, true, 0, 1),
+      op(OpType::kInsert, 2, true, 0, 1),
+      range,
+  };
+  // Both inserts precede the scan, which saw only key 1: illegal.
+  EXPECT_EQ(Checker(h).check(), Verdict::kViolation);
+  h[2].range_mask = 0b0110;  // saw keys 1 and 2
+  EXPECT_EQ(Checker(h).check(), Verdict::kLinearizable);
+}
+
+TEST(Checker, TornRangeSnapshotIsRejected) {
+  // A scan overlapping two inserts may see any prefix-consistent subset,
+  // but a scan that saw {2} while {1} was inserted strictly earlier is a
+  // torn snapshot.
+  Operation range;
+  range.type = OpType::kRange;
+  range.lo = 0;
+  range.hi = 3;
+  range.range_mask = 0b0100;  // saw key 2 but not key 1
+  range.invoke_ns = 10;
+  range.response_ns = 11;
+  std::vector<Operation> h = {
+      op(OpType::kInsert, 1, true, 0, 1),   // completed first
+      op(OpType::kInsert, 2, true, 2, 3),
+      range,
+  };
+  EXPECT_EQ(Checker(h).check(), Verdict::kViolation);
+}
+
+// --- Recording real histories. ---------------------------------------------
+
+std::uint64_t now_ns(std::chrono::steady_clock::time_point epoch) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+template <class S>
+std::vector<Operation> record_history(int threads, int ops_per_thread,
+                                      std::uint64_t seed) {
+  S structure;
+  const auto epoch = std::chrono::steady_clock::now();
+  std::mutex collect_mutex;
+  std::vector<Operation> history;
+  SpinBarrier barrier(threads);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Xoshiro256 rng(seed * 131 + t);
+      std::vector<Operation> local;
+      barrier.arrive_and_wait();
+      for (int i = 0; i < ops_per_thread; ++i) {
+        Operation o;
+        o.key = static_cast<int>(rng.next_below(8));  // universe: keys 0..7
+        const auto kind = rng.next_below(8);
+        o.invoke_ns = now_ns(epoch);
+        if (kind < 3) {
+          o.type = OpType::kInsert;
+          o.returned = structure.insert(o.key, 1);
+        } else if (kind < 5) {
+          o.type = OpType::kRemove;
+          o.returned = structure.remove(o.key);
+        } else if (kind < 7) {
+          o.type = OpType::kLookup;
+          o.returned = structure.lookup(o.key, nullptr);
+        } else {
+          o.type = OpType::kRange;
+          o.lo = 0;
+          o.hi = 7;
+          std::uint16_t mask = 0;
+          structure.range_query(0, 7, [&mask](Key k, Value) {
+            mask |= static_cast<std::uint16_t>(1u << (k & 15));
+          });
+          o.range_mask = mask;
+        }
+        o.response_ns = now_ns(epoch);
+        local.push_back(o);
+      }
+      std::lock_guard<std::mutex> lock(collect_mutex);
+      history.insert(history.end(), local.begin(), local.end());
+    });
+  }
+  for (auto& w : workers) w.join();
+  return history;
+}
+
+template <class S>
+void check_many_histories(const char* name) {
+  int violations = 0;
+  int inconclusive = 0;
+  for (std::uint64_t seed = 1; seed <= 120; ++seed) {
+    auto history = record_history<S>(/*threads=*/3, /*ops_per_thread=*/10,
+                                     seed);
+    switch (Checker(std::move(history)).check()) {
+      case Verdict::kViolation:
+        ++violations;
+        break;
+      case Verdict::kInconclusive:
+        ++inconclusive;
+        break;
+      case Verdict::kLinearizable:
+        break;
+    }
+  }
+  EXPECT_EQ(violations, 0) << name;
+  // The budget is generous; bounded-width histories should never hit it.
+  EXPECT_LE(inconclusive, 2) << name;
+}
+
+TEST(Linearizability, LfcaTreeHistories) {
+  check_many_histories<lfca::LfcaTree>("lfca");
+}
+
+TEST(Linearizability, LfcaTreeAggressiveAdaptationHistories) {
+  // Same check but with adaptation thresholds that cause constant
+  // splitting/joining even at this tiny scale.
+  struct Aggressive : lfca::LfcaTree {
+    Aggressive()
+        : lfca::LfcaTree(reclaim::Domain::global(), [] {
+            lfca::Config c;
+            c.high_cont = 0;
+            c.low_cont = -10;
+            c.low_cont_contrib = 5;
+            return c;
+          }()) {}
+  };
+  check_many_histories<Aggressive>("lfca-aggressive");
+}
+
+TEST(Linearizability, CaTreeHistories) {
+  check_many_histories<calock::CaTree>("ca-lock");
+}
+
+TEST(Linearizability, ImtrHistories) {
+  check_many_histories<imtr::ImTreeSet>("imtr");
+}
+
+}  // namespace
+}  // namespace cats::lintest

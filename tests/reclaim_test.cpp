@@ -1,0 +1,218 @@
+// Tests for the reclamation substrates: epoch-based reclamation and hazard
+// pointers.  These verify the safety contract the lock-free trees depend on:
+// nothing is freed while a reader could still hold a reference, and nothing
+// leaks once readers are gone.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/spin_barrier.hpp"
+#include "reclaim/ebr.hpp"
+#include "reclaim/hazard.hpp"
+
+namespace cats::reclaim {
+namespace {
+
+struct Tracked {
+  static std::atomic<int> live;
+  int payload;
+  explicit Tracked(int p) : payload(p) { live.fetch_add(1); }
+  ~Tracked() { live.fetch_sub(1); }
+};
+std::atomic<int> Tracked::live{0};
+
+TEST(Ebr, RetireIsDeferredUntilDrain) {
+  Domain domain;
+  const int before = Tracked::live.load();
+  domain.retire(new Tracked(1));
+  EXPECT_EQ(Tracked::live.load(), before + 1);  // not freed synchronously
+  domain.drain();
+  EXPECT_EQ(Tracked::live.load(), before);
+  EXPECT_EQ(domain.pending(), 0u);
+}
+
+TEST(Ebr, GuardBlocksReclamation) {
+  Domain domain;
+  const int before = Tracked::live.load();
+  auto* obj = new Tracked(7);
+
+  std::atomic<bool> reader_in{false};
+  std::atomic<bool> release_reader{false};
+  std::atomic<bool> observed_alive{false};
+
+  std::thread reader([&] {
+    Domain::Guard guard(domain);
+    reader_in.store(true);
+    while (!release_reader.load()) std::this_thread::yield();
+    // The object must still be alive here even though it was retired and
+    // the owner tried hard to drain.
+    observed_alive.store(obj->payload == 7);
+  });
+
+  while (!reader_in.load()) std::this_thread::yield();
+  domain.retire(obj);
+  // Epoch cannot advance twice past the reader's announcement.
+  for (int i = 0; i < 10; ++i) domain.drain();
+  EXPECT_EQ(Tracked::live.load(), before + 1);
+
+  release_reader.store(true);
+  reader.join();
+  EXPECT_TRUE(observed_alive.load());
+  domain.drain();
+  EXPECT_EQ(Tracked::live.load(), before);
+}
+
+TEST(Ebr, NestedGuardsCountAsOne) {
+  Domain domain;
+  {
+    Domain::Guard outer(domain);
+    {
+      Domain::Guard inner(domain);
+    }
+    // Still inside the outer guard: retirements from another thread must
+    // not be freed.  (Smoke check via epoch: it cannot advance by 2.)
+    const auto e = domain.epoch();
+    std::thread([&] {
+      for (int i = 0; i < 100; ++i) domain.retire(new Tracked(0));
+      domain.drain();
+    }).join();
+    EXPECT_LE(domain.epoch(), e + 1);
+  }
+  domain.drain();
+}
+
+TEST(Ebr, ManyThreadsNoLeakNoUseAfterFree) {
+  const int before = Tracked::live.load();
+  {
+    Domain domain;
+    constexpr int kThreads = 8;
+    constexpr int kOps = 20'000;
+    // A shared atomic pointer that threads swap and retire: the canonical
+    // EBR usage pattern.
+    std::atomic<Tracked*> shared{new Tracked(0)};
+    SpinBarrier barrier(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        Xoshiro256 rng(t + 1);
+        barrier.arrive_and_wait();
+        for (int i = 0; i < kOps; ++i) {
+          Domain::Guard guard(domain);
+          if (rng.next_below(2) == 0) {
+            Tracked* fresh = new Tracked(i);
+            Tracked* old = shared.exchange(fresh);
+            domain.retire(old);
+          } else {
+            Tracked* cur = shared.load();
+            // Use-after-free would crash or corrupt payload under ASan;
+            // at minimum exercise the read.
+            volatile int x = cur->payload;
+            (void)x;
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    delete shared.load();
+    domain.drain();
+    EXPECT_EQ(domain.pending(), 0u);
+  }
+  EXPECT_EQ(Tracked::live.load(), before);
+}
+
+TEST(Ebr, GlobalDomainIsUsable) {
+  Domain& d = Domain::global();
+  d.retire(new Tracked(3));
+  d.drain();
+  SUCCEED();
+}
+
+TEST(Hazard, ProtectPreventsFree) {
+  HazardDomain domain;
+  const int before = Tracked::live.load();
+  std::atomic<Tracked*> shared{new Tracked(5)};
+
+  Tracked* obj = shared.load();
+  {
+    auto holder = domain.make_holder();
+    Tracked* protected_ptr = holder.protect(shared);
+    EXPECT_EQ(protected_ptr, obj);
+    shared.store(nullptr);
+    domain.retire(obj);
+    domain.scan_all();
+    EXPECT_EQ(Tracked::live.load(), before + 1);  // still protected
+    EXPECT_EQ(protected_ptr->payload, 5);
+  }
+  domain.scan_all();
+  EXPECT_EQ(Tracked::live.load(), before);
+}
+
+TEST(Hazard, TreiberStackStress) {
+  struct StackNode {
+    Tracked tracked{0};
+    int value;
+    StackNode* next;
+  };
+  struct Stack {
+    std::atomic<StackNode*> head{nullptr};
+  };
+
+  const int before = Tracked::live.load();
+  {
+    HazardDomain domain;
+    Stack stack;
+    constexpr int kThreads = 6;
+    constexpr int kOps = 10'000;
+    std::atomic<long long> pushed_sum{0};
+    std::atomic<long long> popped_sum{0};
+    SpinBarrier barrier(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        Xoshiro256 rng(100 + t);
+        barrier.arrive_and_wait();
+        for (int i = 0; i < kOps; ++i) {
+          if (rng.next_below(2) == 0) {
+            auto* node = new StackNode;
+            node->value = static_cast<int>(rng.next_below(1000));
+            pushed_sum.fetch_add(node->value);
+            node->next = stack.head.load();
+            while (!stack.head.compare_exchange_weak(node->next, node)) {
+            }
+          } else {
+            auto holder = domain.make_holder();
+            while (true) {
+              StackNode* top = holder.protect(stack.head);
+              if (top == nullptr) break;
+              if (stack.head.compare_exchange_strong(top, top->next)) {
+                popped_sum.fetch_add(top->value);
+                domain.retire(top);
+                break;
+              }
+            }
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    // Drain the stack.
+    long long rest = 0;
+    StackNode* cur = stack.head.load();
+    while (cur != nullptr) {
+      rest += cur->value;
+      StackNode* next = cur->next;
+      delete cur;
+      cur = next;
+    }
+    EXPECT_EQ(pushed_sum.load(), popped_sum.load() + rest);
+    domain.scan_all();
+    EXPECT_EQ(domain.pending(), 0u);
+  }
+  EXPECT_EQ(Tracked::live.load(), before);
+}
+
+}  // namespace
+}  // namespace cats::reclaim
