@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptivity_demo.dir/adaptivity_demo.cpp.o"
+  "CMakeFiles/adaptivity_demo.dir/adaptivity_demo.cpp.o.d"
+  "adaptivity_demo"
+  "adaptivity_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptivity_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cats_calock.dir/ca_tree.cpp.o"
+  "CMakeFiles/cats_calock.dir/ca_tree.cpp.o.d"
+  "libcats_calock.a"
+  "libcats_calock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cats_calock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cats_chunk.dir/chunk.cpp.o"
+  "CMakeFiles/cats_chunk.dir/chunk.cpp.o.d"
+  "libcats_chunk.a"
+  "libcats_chunk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cats_chunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

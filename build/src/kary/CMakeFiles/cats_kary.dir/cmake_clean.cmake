@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cats_kary.dir/kary_tree.cpp.o"
+  "CMakeFiles/cats_kary.dir/kary_tree.cpp.o.d"
+  "libcats_kary.a"
+  "libcats_kary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cats_kary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cats_lfca.dir/lfca_tree.cpp.o"
+  "CMakeFiles/cats_lfca.dir/lfca_tree.cpp.o.d"
+  "libcats_lfca.a"
+  "libcats_lfca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cats_lfca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

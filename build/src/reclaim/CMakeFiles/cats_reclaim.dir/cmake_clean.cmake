@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cats_reclaim.dir/ebr.cpp.o"
+  "CMakeFiles/cats_reclaim.dir/ebr.cpp.o.d"
+  "CMakeFiles/cats_reclaim.dir/hazard.cpp.o"
+  "CMakeFiles/cats_reclaim.dir/hazard.cpp.o.d"
+  "libcats_reclaim.a"
+  "libcats_reclaim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cats_reclaim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cats_skiplist.dir/skiplist.cpp.o"
+  "CMakeFiles/cats_skiplist.dir/skiplist.cpp.o.d"
+  "libcats_skiplist.a"
+  "libcats_skiplist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cats_skiplist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

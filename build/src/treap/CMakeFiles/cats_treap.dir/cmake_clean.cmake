@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cats_treap.dir/treap.cpp.o"
+  "CMakeFiles/cats_treap.dir/treap.cpp.o.d"
+  "libcats_treap.a"
+  "libcats_treap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cats_treap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

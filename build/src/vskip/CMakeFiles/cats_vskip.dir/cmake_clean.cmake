@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cats_vskip.dir/versioned_skiplist.cpp.o"
+  "CMakeFiles/cats_vskip.dir/versioned_skiplist.cpp.o.d"
+  "libcats_vskip.a"
+  "libcats_vskip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cats_vskip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calock_test.dir/calock_test.cpp.o"
+  "CMakeFiles/calock_test.dir/calock_test.cpp.o.d"
+  "calock_test"
+  "calock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

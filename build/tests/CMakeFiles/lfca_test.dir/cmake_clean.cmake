@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfca_test.dir/lfca_test.cpp.o"
+  "CMakeFiles/lfca_test.dir/lfca_test.cpp.o.d"
+  "lfca_test"
+  "lfca_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

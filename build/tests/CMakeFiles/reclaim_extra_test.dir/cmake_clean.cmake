@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reclaim_extra_test.dir/reclaim_extra_test.cpp.o"
+  "CMakeFiles/reclaim_extra_test.dir/reclaim_extra_test.cpp.o.d"
+  "reclaim_extra_test"
+  "reclaim_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reclaim_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vskip_test.dir/vskip_test.cpp.o"
+  "CMakeFiles/vskip_test.dir/vskip_test.cpp.o.d"
+  "vskip_test"
+  "vskip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vskip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(treap_test "/root/repo/build/tests/treap_test")
+set_tests_properties(treap_test PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;11;cats_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(reclaim_test "/root/repo/build/tests/reclaim_test")
+set_tests_properties(reclaim_test PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;12;cats_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(lfca_test "/root/repo/build/tests/lfca_test")
+set_tests_properties(lfca_test PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;13;cats_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(structures_test "/root/repo/build/tests/structures_test")
+set_tests_properties(structures_test PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;14;cats_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(harness_test "/root/repo/build/tests/harness_test")
+set_tests_properties(harness_test PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;16;cats_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(linearizability_test "/root/repo/build/tests/linearizability_test")
+set_tests_properties(linearizability_test PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;18;cats_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(chunk_test "/root/repo/build/tests/chunk_test")
+set_tests_properties(chunk_test PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;20;cats_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(calock_test "/root/repo/build/tests/calock_test")
+set_tests_properties(calock_test PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;22;cats_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(skiplist_test "/root/repo/build/tests/skiplist_test")
+set_tests_properties(skiplist_test PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;24;cats_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(vskip_test "/root/repo/build/tests/vskip_test")
+set_tests_properties(vskip_test PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;26;cats_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;28;cats_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(reclaim_extra_test "/root/repo/build/tests/reclaim_extra_test")
+set_tests_properties(reclaim_extra_test PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;29;cats_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(differential_test "/root/repo/build/tests/differential_test")
+set_tests_properties(differential_test PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;30;cats_add_test;/root/repo/tests/CMakeLists.txt;0;")
