@@ -60,28 +60,49 @@ harness::RunResult measure(const harness::Options& opt,
     avg.range_queries += r.range_queries / opt.runs;
     avg.range_items += r.range_items / opt.runs;
     for (int g = 0; g < 4; ++g) avg.group_ops[g] += r.group_ops[g] / opt.runs;
+    // Per-thread counts are concatenated, not averaged: the fairness
+    // statistics then cover every (thread, run) sample.
+    avg.per_thread_ops.insert(avg.per_thread_ops.end(),
+                              r.per_thread_ops.begin(),
+                              r.per_thread_ops.end());
   }
   return avg;
 }
 
 /// Prints one throughput-vs-threads series in the paper's layout (ops/µs)
-/// or CSV (`figure,structure,threads,mops`).
+/// or CSV (`figure,structure,threads,mops,ops_min,ops_max,ops_stddev`).
 template <class S>
 void run_thread_sweep(const char* figure, const char* name,
                       const harness::Options& opt, const harness::Mix& mix) {
   if (!opt.csv) std::printf("%-10s", name);
+  std::vector<double> imbalance;  // ops_stddev / mean, one per thread count
   for (int threads : opt.threads) {
     harness::RunResult r =
         measure<S>(opt, {harness::ThreadGroup{threads, mix}});
+    double mean_ops = 0;
+    for (std::uint64_t ops : r.per_thread_ops) {
+      mean_ops += static_cast<double>(ops);
+    }
+    if (!r.per_thread_ops.empty()) {
+      mean_ops /= static_cast<double>(r.per_thread_ops.size());
+    }
     if (opt.csv) {
-      std::printf("%s,%s,%d,%.4f\n", figure, name, threads,
-                  r.throughput_mops());
+      std::printf("%s,%s,%d,%.4f,%llu,%llu,%.1f\n", figure, name, threads,
+                  r.throughput_mops(),
+                  static_cast<unsigned long long>(r.ops_min()),
+                  static_cast<unsigned long long>(r.ops_max()),
+                  r.ops_stddev());
     } else {
       std::printf(" %9.3f", r.throughput_mops());
+      imbalance.push_back(mean_ops > 0 ? r.ops_stddev() / mean_ops : 0);
     }
     std::fflush(stdout);
   }
-  if (!opt.csv) std::printf("\n");
+  if (!opt.csv) {
+    std::printf("\n%-10s", "  ±thr");
+    for (double im : imbalance) std::printf(" %8.1f%%", im * 100);
+    std::printf("\n");
+  }
 }
 
 inline void print_sweep_header(const char* title,
@@ -90,6 +111,9 @@ inline void print_sweep_header(const char* title,
   std::printf("\n=== %s ===\n", title);
   std::printf("throughput in operations/us; S=%lld, %.2fs x %d run(s)\n",
               static_cast<long long>(opt.size), opt.duration, opt.runs);
+  std::printf(
+      "+-thr rows: per-thread op-count stddev as %% of the mean "
+      "(scheduling fairness)\n");
   std::printf("%-10s", "threads:");
   for (int t : opt.threads) std::printf(" %9d", t);
   std::printf("\n");

@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
        opt.size / 10},
   };
 
-  if (opt.csv) std::printf("figure,structure,threads,mops\n");
+  if (opt.csv) std::printf("figure,structure,threads,mops,ops_min,ops_max,ops_stddev\n");
   for (const Panel& panel : panels) {
     const harness::Mix mix =
         harness::Mix::of_percent(20, 55, 25, panel.range_max);

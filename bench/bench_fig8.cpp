@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
       {"fig8c", "Fig 8c: w:1% r:99%", 1, 99},
   };
 
-  if (opt.csv) std::printf("figure,structure,threads,mops\n");
+  if (opt.csv) std::printf("figure,structure,threads,mops,ops_min,ops_max,ops_stddev\n");
   for (const Panel& panel : panels) {
     const harness::Mix mix = harness::Mix::of_percent(panel.w, panel.r, 0);
     print_sweep_header(panel.title, opt);

@@ -6,11 +6,17 @@
 // immutable-container design.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <iostream>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "harness/runner.hpp"
+#include "harness/workload.hpp"
 #include "imtr/imtr_set.hpp"
 #include "lfca/lfca_tree.hpp"
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
 #include "reclaim/ebr.hpp"
 #include "skiplist/skiplist.hpp"
 #include "treap/treap.hpp"
@@ -145,6 +151,57 @@ BENCHMARK(BM_StructureInsertRemove<imtr::ImTreeSet>)->Name("BM_Update/imtr");
 BENCHMARK(BM_StructureInsertRemove<skiplist::SkipList>)
     ->Name("BM_Update/skiplist");
 
+// ---------------------------------------------------------------------------
+// Metrics demo.  After the microbenchmarks, run a short contended mix
+// against an LFCA tree with sensitive adaptation thresholds and export
+// everything the observability layer collected — counters, latency
+// histograms and the adaptation-event trace — to bench_micro_metrics.json
+// (parse it back with obs/json.hpp, or eyeball the table printed below).
+// ---------------------------------------------------------------------------
+void run_metrics_demo() {
+#if CATS_OBS_ENABLED
+  obs::Registry::instance().reset();
+
+  lfca::Config config;
+  config.high_cont = 0;  // adapt on every contention event (1-CPU hosts
+  config.low_cont = -100;  // rarely see clustered CAS failures)
+  reclaim::Domain domain;
+  {
+    lfca::LfcaTree tree(domain, config);
+    harness::prefill(tree, 1 << 14);
+    const harness::Mix mix = harness::Mix::of_percent(80, 10, 10, 256);
+    harness::run_mix(tree, 4, mix, 1 << 14, 0.3);
+    // The mix above splits under real contention; add a deterministic round
+    // of forced adaptations so the exported file always shows both
+    // directions, even on a single-core host.
+    for (Key k = 0; k < 8; ++k) tree.force_split(k * 2048);
+    for (Key k = 0; k < 8; ++k) tree.force_join(k * 2048);
+
+    obs::Snapshot snap = obs::global_snapshot();
+    tree.stats().append_to(snap, "lfca_");
+
+    std::printf("\n--- observability snapshot ---\n");
+    obs::write_table(std::cout, snap);
+    const char* path = "bench_micro_metrics.json";
+    if (obs::write_json_file(path, snap)) {
+      std::printf("metrics written to %s\n", path);
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", path);
+    }
+  }
+  domain.drain();
+#else
+  std::printf("\n(CATS_OBS=OFF: metrics export compiled out)\n");
+#endif
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_metrics_demo();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Observability overhead check.
+//
+// Runs the same LFCA mix in this build and prints throughput plus whether
+// the hooks are compiled in.  Build the tree twice to compare:
+//
+//   cmake -B build-on  -DCATS_OBS=ON  && cmake --build build-on  --target bench_obs
+//   cmake -B build-off -DCATS_OBS=OFF && cmake --build build-off --target bench_obs
+//   ./build-on/bench/bench_obs --csv; ./build-off/bench/bench_obs --csv
+//
+// The ON build must stay within ~2% of OFF: every hook is a relaxed
+// fetch_add on a thread-private cache line (or nothing at all on the
+// wait-free lookup path).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cats;
+  harness::Options opt = harness::Options::parse(argc, argv);
+
+  const harness::Mix mix = harness::Mix::of_percent(20, 55, 25, 1000);
+  if (!opt.csv) {
+    std::printf("CATS_OBS=%s  mix %s  S=%lld\n",
+                obs::kEnabled ? "ON" : "OFF", mix.describe().c_str(),
+                static_cast<long long>(opt.size));
+  }
+  for (int threads : opt.threads) {
+    const harness::RunResult r =
+        bench::measure<lfca::LfcaTree>(opt, {{threads, mix}});
+    if (opt.csv) {
+      std::printf("obs-overhead,%s,%d,%.4f\n", obs::kEnabled ? "on" : "off",
+                  threads, r.throughput_mops());
+    } else {
+      std::printf("threads=%-3d %9.3f ops/us  (per-thread min=%llu max=%llu "
+                  "stddev=%.0f)\n",
+                  threads, r.throughput_mops(),
+                  static_cast<unsigned long long>(r.ops_min()),
+                  static_cast<unsigned long long>(r.ops_max()),
+                  r.ops_stddev());
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -25,6 +25,7 @@
 #include "common/spin_barrier.hpp"
 #include "common/types.hpp"
 #include "harness/workload.hpp"
+#include "obs/registry.hpp"
 
 namespace cats::harness {
 
@@ -78,6 +79,14 @@ RunResult run_mix(S& structure, const std::vector<ThreadGroup>& groups,
         while (!stop.load(std::memory_order_relaxed)) {
           const std::uint64_t dice = rng.next_below(1000);
           const Key k = rng.next_in(1, key_range - 1);
+#if CATS_OBS_ENABLED
+          // Sample one in 32 operations into the global latency histograms;
+          // timing every operation would dominate the cost of a lookup.
+          const bool sampled = (my.ops & 31u) == 0;
+          const auto op_begin = sampled ? std::chrono::steady_clock::now()
+                                        : std::chrono::steady_clock::time_point();
+          obs::GHistogram op_hist = obs::GHistogram::kUpdateLatencyNs;
+#endif
           if (dice < mix.update_permille) {
             if ((dice & 1) == 0) {
               structure.insert(k, static_cast<Value>(k) + 1);
@@ -87,6 +96,9 @@ RunResult run_mix(S& structure, const std::vector<ThreadGroup>& groups,
           } else if (dice < mix.update_permille + mix.lookup_permille) {
             Value v;
             structure.lookup(k, &v);
+#if CATS_OBS_ENABLED
+            op_hist = obs::GHistogram::kLookupLatencyNs;
+#endif
           } else {
             const std::int64_t span =
                 mix.fixed_range_size
@@ -105,7 +117,21 @@ RunResult run_mix(S& structure, const std::vector<ThreadGroup>& groups,
             if (sum == 0xdeadbeefdeadbeefull) std::abort();
             my.range_items += items;
             ++my.range_queries;
+#if CATS_OBS_ENABLED
+            op_hist = obs::GHistogram::kRangeLatencyNs;
+#endif
           }
+#if CATS_OBS_ENABLED
+          if (sampled) {
+            const auto elapsed = std::chrono::steady_clock::now() - op_begin;
+            obs::record(
+                op_hist,
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        elapsed)
+                        .count()));
+          }
+#endif
           ++my.ops;
         }
       });
@@ -121,11 +147,13 @@ RunResult run_mix(S& structure, const std::vector<ThreadGroup>& groups,
 
   RunResult result;
   result.seconds = std::chrono::duration<double>(end - start).count();
+  result.per_thread_ops.reserve(total_threads);
   for (int t = 0; t < total_threads; ++t) {
     result.total_ops += counters[t].ops;
     result.group_ops[group_of[t]] += counters[t].ops;
     result.range_queries += counters[t].range_queries;
     result.range_items += counters[t].range_items;
+    result.per_thread_ops.push_back(counters[t].ops);
   }
   return result;
 }

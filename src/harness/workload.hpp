@@ -6,8 +6,11 @@
 // with S/2 random keys before measuring.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -56,6 +59,10 @@ struct RunResult {
   std::uint64_t total_ops = 0;
   std::uint64_t range_queries = 0;
   std::uint64_t range_items = 0;
+  /// Completed operations per thread, in spawn order.  Fairness check: a
+  /// starved thread (ops_min far below ops_max) invalidates a throughput
+  /// comparison even when the total looks fine.
+  std::vector<std::uint64_t> per_thread_ops;
 
   double throughput_mops() const {
     return seconds > 0 ? static_cast<double>(total_ops) / seconds / 1e6 : 0;
@@ -69,6 +76,35 @@ struct RunResult {
     return range_queries > 0 ? static_cast<double>(range_items) /
                                    static_cast<double>(range_queries)
                              : 0;
+  }
+
+  std::uint64_t ops_min() const {
+    return per_thread_ops.empty()
+               ? 0
+               : *std::min_element(per_thread_ops.begin(),
+                                   per_thread_ops.end());
+  }
+  std::uint64_t ops_max() const {
+    return per_thread_ops.empty()
+               ? 0
+               : *std::max_element(per_thread_ops.begin(),
+                                   per_thread_ops.end());
+  }
+  /// Population standard deviation of per-thread op counts.
+  double ops_stddev() const {
+    if (per_thread_ops.size() < 2) return 0;
+    const double n = static_cast<double>(per_thread_ops.size());
+    double mean = 0;
+    for (std::uint64_t ops : per_thread_ops) {
+      mean += static_cast<double>(ops);
+    }
+    mean /= n;
+    double var = 0;
+    for (std::uint64_t ops : per_thread_ops) {
+      const double d = static_cast<double>(ops) - mean;
+      var += d * d;
+    }
+    return std::sqrt(var / n);
   }
 };
 

@@ -34,6 +34,8 @@
 #include "common/padded.hpp"
 #include "common/types.hpp"
 #include "lfca/config.hpp"
+#include "obs/counters.hpp"
+#include "obs/obs.hpp"
 #include "lfca/container_policy.hpp"
 #include "lfca/node.hpp"
 #include "lfca/stats.hpp"
@@ -137,20 +139,28 @@ class BasicLfcaTree {
 
   void retire(Node* n);
   void count_range_query(std::size_t bases_traversed) const;
+  /// Route depth of the base node currently covering `key` (for the
+  /// adaptation trace; racy walk, adaptation events only).
+  std::uint32_t depth_of(Key key) const;
+
+  /// Paper counters: always maintained (Tables 1-2 and the adaptation
+  /// tests read them through stats()).
+  void count(TreeCounter c, std::uint64_t n = 1) const {
+    counters_.add(c, n);
+  }
+  /// Diagnostic counters: compiled to nothing when CATS_OBS is off.
+  void count_obs(TreeCounter c, std::uint64_t n = 1) const {
+    CATS_OBS_ONLY(counters_.add(c, n));
+  }
 
   reclaim::Domain& domain_;
   const Config config_;
   std::atomic<Node*> root_;
 
-  // Statistics counters (relaxed; each on its own cache line).
-  mutable Padded<std::atomic<std::uint64_t>> splits_;
-  mutable Padded<std::atomic<std::uint64_t>> joins_;
-  mutable Padded<std::atomic<std::uint64_t>> aborted_joins_;
-  mutable Padded<std::atomic<std::uint64_t>> range_queries_;
-  mutable Padded<std::atomic<std::uint64_t>> range_bases_traversed_;
-  mutable Padded<std::atomic<std::uint64_t>> optimistic_ranges_;
-  mutable Padded<std::atomic<std::uint64_t>> fallback_ranges_;
-  mutable Padded<std::atomic<std::uint64_t>> helps_;
+  /// Per-tree statistics: per-thread sharded cells with relaxed increments,
+  /// aggregated on read (obs/counters.hpp).
+  mutable obs::ShardedCounters<static_cast<std::size_t>(TreeCounter::kCount)>
+      counters_;
 };
 
 /// The paper's configuration: fat-leaf treap leaf containers.

@@ -29,6 +29,7 @@
 
 #include "common/rng.hpp"
 #include "lfca/lfca_tree.hpp"
+#include "obs/registry.hpp"
 
 namespace cats::lfca {
 
@@ -177,13 +178,15 @@ void BasicLfcaTree<C>::help_if_needed(Node* n) {
       n->neigh2.compare_exchange_strong(expected, Node::aborted(),
                                         std::memory_order_acq_rel);
     } else if (detail::is_real<C>(state)) {
-      helps_->fetch_add(1, std::memory_order_relaxed);
+      count(TreeCounter::kHelps);
+      count_obs(TreeCounter::kHelpJoins);
       complete_join(n);
     }
   } else if (n->type == NodeType::kRange &&
              n->storage->result.load(std::memory_order_acquire) ==
                  detail::not_set<C>()) {
-    helps_->fetch_add(1, std::memory_order_relaxed);
+    count(TreeCounter::kHelps);
+    count_obs(TreeCounter::kHelpRanges);
     all_in_range(n->lo, n->hi, n->storage);
   }
 }
@@ -198,13 +201,23 @@ int BasicLfcaTree<C>::new_stat(const Node* n, ContentionInfo info) const {
     range_sub = config_.range_contrib;
   }
   const int stat = n->stat.load(std::memory_order_relaxed);
+  int next = stat - range_sub;
   if (info == ContentionInfo::kContended && stat <= config_.high_cont) {
-    return stat + config_.cont_contrib - range_sub;
+    next = stat + config_.cont_contrib - range_sub;
+  } else if (info == ContentionInfo::kUncontended &&
+             stat >= config_.low_cont) {
+    next = stat - config_.low_cont_contrib - range_sub;
   }
-  if (info == ContentionInfo::kUncontended && stat >= config_.low_cont) {
-    return stat - config_.low_cont_contrib - range_sub;
-  }
-  return stat - range_sub;
+  // A parentless base node spans the whole key space and can never join
+  // (line 269's parent check), so negative drift at the root serves no
+  // adaptation: it only delays future splits.  Left unfloored, the prefill
+  // phase alone sinks the root's statistics to low_cont - 1, and contention
+  // then has to climb the full |low_cont| + high_cont distance before the
+  // first split — on machines where conflicts are rare (few cores), that
+  // masks real contention indefinitely (diagnosed via the
+  // contention_events-vs-splits counters and the adaptation trace).
+  if (n->parent == nullptr && next < 0) next = 0;
+  return next;
 }
 
 // Paper lines 98-104.
@@ -256,8 +269,28 @@ bool BasicLfcaTree<C>::do_update(UpdateKind kind, Key key, Value value) {
         return kind == UpdateKind::kInsert ? !changed : changed;
       }
       delete newb;  // never published
+      count_obs(TreeCounter::kUpdateCasFails);
+    } else {
+      count_obs(TreeCounter::kUpdateBlockedRetries);
     }
     info = ContentionInfo::kContended;
+    // Feed the conflict into the current base node's statistics at event
+    // time (in place, bounded by high_cont like line 92's guard).  The
+    // pseudo-code records contention only in the replacement node of the
+    // final successful attempt, which collapses any number of lost rounds
+    // into a single cont_contrib and discards the evidence entirely when
+    // the losing thread moves on — under bursty conflicts (e.g. a
+    // preempted range query holding its span irreplaceable) the surviving
+    // single contribution is cancelled by the uncontended decrements that
+    // follow, and the split threshold is never reached.  In-place
+    // statistics updates cannot affect correctness (see the file comment on
+    // the §6 nudge); if `base` was already unlinked by the winning thread
+    // the write lands on a retired node and is simply lost, which matches
+    // the pseudo-code's behaviour.
+    if (base->stat.load(std::memory_order_relaxed) <= config_.high_cont) {
+      base->stat.fetch_add(config_.cont_contrib, std::memory_order_relaxed);
+      count_obs(TreeCounter::kContentionEvents);
+    }
     help_if_needed(base);
   }
 }
@@ -286,7 +319,12 @@ bool BasicLfcaTree<C>::lookup(Key key, Value* value_out) const {
 // Paper lines 277-287.
 template <class C>
 bool BasicLfcaTree<C>::high_contention_adaptation(Node* b) {
-  if (C::less_than_two_items(b->data)) return false;
+  count_obs(TreeCounter::kSplitAttempts);
+  if (C::less_than_two_items(b->data)) {
+    count_obs(TreeCounter::kSplitRefusedSmall);
+    return false;
+  }
+  const int stat = b->stat.load(std::memory_order_relaxed);
   typename C::Ref left_data;
   typename C::Ref right_data;
   Key split_key = 0;
@@ -304,12 +342,20 @@ bool BasicLfcaTree<C>::high_contention_adaptation(Node* b) {
   r->right.store(rb, std::memory_order_relaxed);
 
   if (try_replace(b, r)) {
-    splits_->fetch_add(1, std::memory_order_relaxed);
+    count(TreeCounter::kSplits);
+    CATS_OBS_ONLY({
+      obs::record(obs::GHistogram::kSplitLeafItems, C::size(b->data));
+      obs::trace_adapt(obs::AdaptKind::kSplit, depth_of(split_key), stat);
+    });
     return true;
   }
   delete lb;
   delete rb;
   delete r;
+  count_obs(TreeCounter::kSplitFailedCas);
+  CATS_OBS_ONLY(
+      obs::trace_adapt(obs::AdaptKind::kSplitFailed, depth_of(split_key),
+                       stat));
   return false;
 }
 
@@ -317,6 +363,9 @@ bool BasicLfcaTree<C>::high_contention_adaptation(Node* b) {
 template <class C>
 bool BasicLfcaTree<C>::low_contention_adaptation(Node* b) {
   if (b->parent == nullptr) return false;
+  count_obs(TreeCounter::kJoinAttempts);
+  const int stat = b->stat.load(std::memory_order_relaxed);
+  const Key probe = b->parent->key;
   Node* m = nullptr;
   if (b->parent->left.load(std::memory_order_acquire) == b) {
     m = secure_join(b, /*left_child=*/true);
@@ -325,10 +374,14 @@ bool BasicLfcaTree<C>::low_contention_adaptation(Node* b) {
   }
   if (m != nullptr) {
     complete_join(m);
-    joins_->fetch_add(1, std::memory_order_relaxed);
+    count(TreeCounter::kJoins);
+    CATS_OBS_ONLY(
+        obs::trace_adapt(obs::AdaptKind::kJoin, depth_of(probe), stat));
     return true;
   }
-  aborted_joins_->fetch_add(1, std::memory_order_relaxed);
+  count(TreeCounter::kAbortedJoins);
+  CATS_OBS_ONLY(
+      obs::trace_adapt(obs::AdaptKind::kJoinAborted, depth_of(probe), stat));
   return false;
 }
 
@@ -568,9 +621,10 @@ typename BasicLfcaTree<C>::Node* BasicLfcaTree<C>::find_next_base_stack(
 
 template <class C>
 void BasicLfcaTree<C>::count_range_query(std::size_t bases_traversed) const {
-  range_queries_->fetch_add(1, std::memory_order_relaxed);
-  range_bases_traversed_->fetch_add(bases_traversed,
-                                    std::memory_order_relaxed);
+  count(TreeCounter::kRangeQueries);
+  count(TreeCounter::kRangeBasesTraversed, bases_traversed);
+  CATS_OBS_ONLY(obs::record(obs::GHistogram::kRangeBasesTraversed,
+                            bases_traversed));
 }
 
 // Paper lines 161-215.  Must be called inside an epoch guard; the returned
@@ -602,6 +656,7 @@ const typename C::Node* BasicLfcaTree<C>::all_in_range(
       Node* n = detail::new_range_base<C>(b, lo, hi, my_s);
       if (!try_replace(b, n)) {
         delete n;
+        count_obs(TreeCounter::kRangeCasFails);
         continue;  // goto find_first
       }
       stack.back() = n;  // replace_top
@@ -642,6 +697,7 @@ const typename C::Node* BasicLfcaTree<C>::all_in_range(
           advanced = true;
         } else {
           delete n;
+          count_obs(TreeCounter::kRangeCasFails);
           stack = backup;
         }
       } else {
@@ -716,7 +772,7 @@ void BasicLfcaTree<C>::range_query(Key lo, Key hi, ItemVisitor visit) const {
         C::for_range(n->data, lo, hi, visit);
         ++base_count;
       }
-      optimistic_ranges_->fetch_add(1, std::memory_order_relaxed);
+      count(TreeCounter::kOptimisticRanges);
       count_range_query(base_count);
       if (base_count > 1) {
         // Feed the multi-base observation into the heuristics (see the file
@@ -728,7 +784,7 @@ void BasicLfcaTree<C>::range_query(Key lo, Key hi, ItemVisitor visit) const {
       }
       return;
     }
-    fallback_ranges_->fetch_add(1, std::memory_order_relaxed);
+    count(TreeCounter::kFallbackRanges);
   }
 
   const typename C::Node* result = self->all_in_range(lo, hi, nullptr);
@@ -811,30 +867,45 @@ bool BasicLfcaTree<C>::check_integrity() const {
 }
 
 template <class C>
+std::uint32_t BasicLfcaTree<C>::depth_of(Key key) const {
+  std::uint32_t depth = 0;
+  Node* n = root_.load(std::memory_order_acquire);
+  while (n->type == NodeType::kRoute) {
+    ++depth;
+    n = (key < n->key ? n->left : n->right).load(std::memory_order_acquire);
+  }
+  return depth;
+}
+
+template <class C>
 Stats BasicLfcaTree<C>::stats() const {
   Stats s;
-  s.splits = splits_->load(std::memory_order_relaxed);
-  s.joins = joins_->load(std::memory_order_relaxed);
-  s.aborted_joins = aborted_joins_->load(std::memory_order_relaxed);
-  s.range_queries = range_queries_->load(std::memory_order_relaxed);
+  s.splits = counters_.read(TreeCounter::kSplits);
+  s.joins = counters_.read(TreeCounter::kJoins);
+  s.aborted_joins = counters_.read(TreeCounter::kAbortedJoins);
+  s.range_queries = counters_.read(TreeCounter::kRangeQueries);
   s.range_bases_traversed =
-      range_bases_traversed_->load(std::memory_order_relaxed);
-  s.optimistic_ranges = optimistic_ranges_->load(std::memory_order_relaxed);
-  s.fallback_ranges = fallback_ranges_->load(std::memory_order_relaxed);
-  s.helps = helps_->load(std::memory_order_relaxed);
+      counters_.read(TreeCounter::kRangeBasesTraversed);
+  s.optimistic_ranges = counters_.read(TreeCounter::kOptimisticRanges);
+  s.fallback_ranges = counters_.read(TreeCounter::kFallbackRanges);
+  s.helps = counters_.read(TreeCounter::kHelps);
+  s.split_attempts = counters_.read(TreeCounter::kSplitAttempts);
+  s.split_failed_cas = counters_.read(TreeCounter::kSplitFailedCas);
+  s.split_refused_small = counters_.read(TreeCounter::kSplitRefusedSmall);
+  s.join_attempts = counters_.read(TreeCounter::kJoinAttempts);
+  s.update_cas_fails = counters_.read(TreeCounter::kUpdateCasFails);
+  s.update_blocked_retries =
+      counters_.read(TreeCounter::kUpdateBlockedRetries);
+  s.contention_events = counters_.read(TreeCounter::kContentionEvents);
+  s.range_cas_fails = counters_.read(TreeCounter::kRangeCasFails);
+  s.help_joins = counters_.read(TreeCounter::kHelpJoins);
+  s.help_ranges = counters_.read(TreeCounter::kHelpRanges);
   return s;
 }
 
 template <class C>
 void BasicLfcaTree<C>::reset_stats() {
-  splits_->store(0, std::memory_order_relaxed);
-  joins_->store(0, std::memory_order_relaxed);
-  aborted_joins_->store(0, std::memory_order_relaxed);
-  range_queries_->store(0, std::memory_order_relaxed);
-  range_bases_traversed_->store(0, std::memory_order_relaxed);
-  optimistic_ranges_->store(0, std::memory_order_relaxed);
-  fallback_ranges_->store(0, std::memory_order_relaxed);
-  helps_->store(0, std::memory_order_relaxed);
+  counters_.reset();
 }
 
 }  // namespace cats::lfca

@@ -1,15 +1,74 @@
-// Runtime statistics of an LFCA tree, reproducing the measurements of the
-// paper's Tables 1 and 2 (route-node count, base nodes traversed per range
-// query, split and join rates).
+// Runtime statistics of an LFCA tree.
+//
+// The original eight counters reproduce the measurements of the paper's
+// Tables 1 and 2 (split and join rates, base nodes traversed per range
+// query); the remaining counters instrument the contention-detection and
+// help machinery itself: CAS failures per operation type, blocked-retry
+// loops, split/join attempts vs. successes vs. aborts, and the §6
+// optimistic-range fast path.  All counters are maintained in a per-tree
+// sharded block (obs/counters.hpp): per-thread cache-line-padded cells with
+// relaxed increments on the hot paths, aggregated on read — exact in
+// quiescence, slightly approximate under concurrency, which is all the
+// paper's tables (and these diagnostics) require.
 #pragma once
 
 #include <cstdint>
 
+#include "obs/export.hpp"
+
 namespace cats::lfca {
 
-/// Snapshot of the tree's internal counters.  Counters are maintained with
-/// relaxed atomics; values are exact in quiescence and slightly approximate
-/// under concurrency, which is all the paper's tables require.
+/// Per-tree counter indices (the storage lives in BasicLfcaTree).
+enum class TreeCounter : std::size_t {
+  // --- the paper's Tables 1-2 measurements (always maintained) -----------
+  kSplits,
+  kJoins,
+  kAbortedJoins,
+  kRangeQueries,
+  kRangeBasesTraversed,
+  kOptimisticRanges,
+  kFallbackRanges,
+  kHelps,
+  // --- contention-detection diagnostics (CATS_OBS builds only) ------------
+  kSplitAttempts,        // high_contention_adaptation entered
+  kSplitFailedCas,       // split built but lost its installing CAS
+  kSplitRefusedSmall,    // split refused: leaf had < 2 items
+  kJoinAttempts,         // low_contention_adaptation entered
+  kUpdateCasFails,       // insert/remove lost the base-replacing CAS
+  kUpdateBlockedRetries, // insert/remove found an irreplaceable base node
+  kContentionEvents,     // contention fed into a base node's statistics
+  kRangeCasFails,        // range query lost a range_base-installing CAS
+  kHelpJoins,            // help_if_needed completed another thread's join
+  kHelpRanges,           // help_if_needed joined another thread's range query
+  kCount
+};
+
+inline const char* tree_counter_name(TreeCounter c) {
+  switch (c) {
+    case TreeCounter::kSplits: return "splits";
+    case TreeCounter::kJoins: return "joins";
+    case TreeCounter::kAbortedJoins: return "aborted_joins";
+    case TreeCounter::kRangeQueries: return "range_queries";
+    case TreeCounter::kRangeBasesTraversed: return "range_bases_traversed";
+    case TreeCounter::kOptimisticRanges: return "optimistic_ranges";
+    case TreeCounter::kFallbackRanges: return "fallback_ranges";
+    case TreeCounter::kHelps: return "helps";
+    case TreeCounter::kSplitAttempts: return "split_attempts";
+    case TreeCounter::kSplitFailedCas: return "split_failed_cas";
+    case TreeCounter::kSplitRefusedSmall: return "split_refused_small";
+    case TreeCounter::kJoinAttempts: return "join_attempts";
+    case TreeCounter::kUpdateCasFails: return "update_cas_fails";
+    case TreeCounter::kUpdateBlockedRetries: return "update_blocked_retries";
+    case TreeCounter::kContentionEvents: return "contention_events";
+    case TreeCounter::kRangeCasFails: return "range_cas_fails";
+    case TreeCounter::kHelpJoins: return "help_joins";
+    case TreeCounter::kHelpRanges: return "help_ranges";
+    case TreeCounter::kCount: break;
+  }
+  return "?";
+}
+
+/// Snapshot of the tree's internal counters (see TreeCounter for meanings).
 struct Stats {
   std::uint64_t splits = 0;
   std::uint64_t joins = 0;
@@ -25,11 +84,48 @@ struct Stats {
   /// Calls that helped another thread's operation.
   std::uint64_t helps = 0;
 
+  // Diagnostics (zero in CATS_OBS=OFF builds).
+  std::uint64_t split_attempts = 0;
+  std::uint64_t split_failed_cas = 0;
+  std::uint64_t split_refused_small = 0;
+  std::uint64_t join_attempts = 0;
+  std::uint64_t update_cas_fails = 0;
+  std::uint64_t update_blocked_retries = 0;
+  std::uint64_t contention_events = 0;
+  std::uint64_t range_cas_fails = 0;
+  std::uint64_t help_joins = 0;
+  std::uint64_t help_ranges = 0;
+
   double traversed_per_query() const {
     return range_queries == 0
                ? 0.0
                : static_cast<double>(range_bases_traversed) /
                      static_cast<double>(range_queries);
+  }
+
+  /// Appends every counter to an obs snapshot under a `prefix` (e.g.
+  /// "lfca_"), so tree statistics travel in the same exported document as
+  /// the process-wide metrics.
+  void append_to(obs::Snapshot& snap, const std::string& prefix) const {
+    snap.add_counter(prefix + "splits", splits);
+    snap.add_counter(prefix + "joins", joins);
+    snap.add_counter(prefix + "aborted_joins", aborted_joins);
+    snap.add_counter(prefix + "range_queries", range_queries);
+    snap.add_counter(prefix + "range_bases_traversed", range_bases_traversed);
+    snap.add_counter(prefix + "optimistic_ranges", optimistic_ranges);
+    snap.add_counter(prefix + "fallback_ranges", fallback_ranges);
+    snap.add_counter(prefix + "helps", helps);
+    snap.add_counter(prefix + "split_attempts", split_attempts);
+    snap.add_counter(prefix + "split_failed_cas", split_failed_cas);
+    snap.add_counter(prefix + "split_refused_small", split_refused_small);
+    snap.add_counter(prefix + "join_attempts", join_attempts);
+    snap.add_counter(prefix + "update_cas_fails", update_cas_fails);
+    snap.add_counter(prefix + "update_blocked_retries",
+                     update_blocked_retries);
+    snap.add_counter(prefix + "contention_events", contention_events);
+    snap.add_counter(prefix + "range_cas_fails", range_cas_fails);
+    snap.add_counter(prefix + "help_joins", help_joins);
+    snap.add_counter(prefix + "help_ranges", help_ranges);
   }
 };
 

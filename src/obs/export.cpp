@@ -1,0 +1,219 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "obs/registry.hpp"
+
+namespace cats::obs {
+
+std::uint64_t Snapshot::counter(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+Snapshot global_snapshot() {
+  Snapshot snap;
+  Registry& reg = Registry::instance();
+  for (std::size_t i = 0; i < static_cast<std::size_t>(GCounter::kCount);
+       ++i) {
+    const auto c = static_cast<GCounter>(i);
+    snap.add_counter(gcounter_name(c), reg.read(c));
+  }
+  snap.add_gauge("ebr_backlog",
+                 static_cast<double>(reg.read(GCounter::kEbrRetired)) -
+                     static_cast<double>(reg.read(GCounter::kEbrFreed)));
+  snap.add_gauge("treap_live_nodes",
+                 static_cast<double>(reg.read(GCounter::kTreapNodeAllocs)) -
+                     static_cast<double>(reg.read(GCounter::kTreapNodeFrees)));
+  for (std::size_t i = 0; i < static_cast<std::size_t>(GHistogram::kCount);
+       ++i) {
+    const auto h = static_cast<GHistogram>(i);
+    snap.add_histogram(ghistogram_name(h), reg.histogram(h).snapshot());
+  }
+  snap.events = reg.trace().dump();
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// Table.
+// ---------------------------------------------------------------------------
+
+void write_table(std::ostream& os, const Snapshot& snap) {
+  os << "-- counters --\n";
+  for (const auto& [name, value] : snap.counters) {
+    char line[128];
+    std::snprintf(line, sizeof line, "%-28s %20" PRIu64 "\n", name.c_str(),
+                  value);
+    os << line;
+  }
+  if (!snap.gauges.empty()) {
+    os << "-- gauges --\n";
+    for (const auto& [name, value] : snap.gauges) {
+      char line[128];
+      std::snprintf(line, sizeof line, "%-28s %20.3f\n", name.c_str(), value);
+      os << line;
+    }
+  }
+  os << "-- histograms --\n";
+  for (const auto& [name, h] : snap.histograms) {
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "%-28s count=%-10" PRIu64 " mean=%-12.1f p50<=%-12" PRIu64
+                  " p99<=%" PRIu64 "\n",
+                  name.c_str(), h.count, h.mean(), h.quantile_bound(0.5),
+                  h.quantile_bound(0.99));
+    os << line;
+  }
+  os << "-- adaptation trace (" << snap.events.size() << " events) --\n";
+  // The full timeline can be thousands of lines; show the tail.
+  const std::size_t show = snap.events.size() > 20 ? 20 : snap.events.size();
+  for (std::size_t i = snap.events.size() - show; i < snap.events.size();
+       ++i) {
+    const TraceEvent& e = snap.events[i];
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "  t=%12.6fs %-12s depth=%-3u stat=%-7d thread=%u\n",
+                  static_cast<double>(e.time_ns) / 1e9,
+                  adapt_kind_name(e.kind), e.depth, e.stat, e.thread);
+    os << line;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JSON.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_histogram_json(std::ostream& os, const HistogramSnapshot& h) {
+  os << "{\"count\":" << h.count << ",\"sum\":" << h.sum
+     << ",\"mean\":" << h.mean() << ",\"p50\":" << h.quantile_bound(0.5)
+     << ",\"p99\":" << h.quantile_bound(0.99) << ",\"buckets\":[";
+  bool first = true;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (h.buckets[b] == 0) continue;
+    if (!first) os << ',';
+    first = false;
+    os << "{\"bucket\":" << b << ",\"low\":" << bucket_low(b)
+       << ",\"count\":" << h.buckets[b] << '}';
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+void write_json(std::ostream& os, const Snapshot& snap) {
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) os << ',';
+    first = false;
+    json_escape(os, name);
+    os << ':' << value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (!first) os << ',';
+    first = false;
+    json_escape(os, name);
+    os << ':' << value;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) os << ',';
+    first = false;
+    json_escape(os, name);
+    os << ':';
+    write_histogram_json(os, h);
+  }
+  os << "},\"trace\":[";
+  first = true;
+  for (const TraceEvent& e : snap.events) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"t_ns\":" << e.time_ns << ",\"kind\":\""
+       << adapt_kind_name(e.kind) << "\",\"depth\":" << e.depth
+       << ",\"stat\":" << e.stat << ",\"thread\":" << e.thread << '}';
+  }
+  os << "]}";
+}
+
+bool write_json_file(const std::string& path, const Snapshot& snap) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_json(out, snap);
+  out << '\n';
+  return static_cast<bool>(out);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*; ours are already
+/// snake_case, so prefixing is all that's needed.
+std::string prom_name(const std::string& name) { return "cats_" + name; }
+
+}  // namespace
+
+void write_prometheus(std::ostream& os, const Snapshot& snap) {
+  for (const auto& [name, value] : snap.counters) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " counter\n" << n << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " gauge\n" << n << ' ' << value << '\n';
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      cumulative += h.buckets[b];
+      os << n << "_bucket{le=\"" << bucket_high(b) << "\"} " << cumulative
+         << '\n';
+    }
+    os << n << "_bucket{le=\"+Inf\"} " << h.count << '\n'
+       << n << "_sum " << h.sum << '\n'
+       << n << "_count " << h.count << '\n';
+  }
+  // The trace is not a Prometheus concept; expose its volume as a counter.
+  const std::string n = prom_name("adaptation_events");
+  os << "# TYPE " << n << " counter\n" << n << ' ' << snap.events.size()
+     << '\n';
+}
+
+}  // namespace cats::obs

@@ -1,0 +1,105 @@
+// Log-scale histograms with lock-free per-thread shards.
+//
+// Power-of-two buckets: a sample v lands in bucket bit_width(v), so bucket b
+// (b >= 1) covers [2^(b-1), 2^b - 1] and bucket 0 holds exact zeros.  That
+// gives full uint64 range in 65 buckets with a constant-time, branch-light
+// record path — the right trade for latency and size distributions, where
+// only the order of magnitude matters.
+//
+// Recording is a relaxed fetch_add on the calling thread's shard (same
+// striping scheme as counters.hpp); snapshots merge the shards.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/padded.hpp"
+#include "obs/counters.hpp"
+
+namespace cats::obs {
+
+inline constexpr std::size_t kHistogramBuckets = 65;
+
+/// Bucket index of a sample: 0 for 0, else 1 + floor(log2(v)).
+inline std::size_t histogram_bucket(std::uint64_t v) {
+  return static_cast<std::size_t>(std::bit_width(v));
+}
+
+/// Inclusive lower bound of a bucket.
+inline std::uint64_t bucket_low(std::size_t b) {
+  return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+}
+
+/// Inclusive upper bound of a bucket.
+inline std::uint64_t bucket_high(std::size_t b) {
+  if (b == 0) return 0;
+  if (b == kHistogramBuckets - 1) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << b) - 1;
+}
+
+/// Mergeable point-in-time view of a histogram.
+struct HistogramSnapshot {
+  std::uint64_t buckets[kHistogramBuckets] = {};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Upper bound of the bucket containing the q-quantile (q in [0, 1]).
+  std::uint64_t quantile_bound(double q) const {
+    if (count == 0) return 0;
+    const double target = q * static_cast<double>(count);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      seen += buckets[b];
+      if (static_cast<double>(seen) >= target) return bucket_high(b);
+    }
+    return bucket_high(kHistogramBuckets - 1);
+  }
+};
+
+class LogHistogram {
+ public:
+  /// Relaxed record on the calling thread's shard (hot path).
+  void record(std::uint64_t v) {
+    Shard& s = *shards_[shard_index()];
+    s.buckets[histogram_bucket(v)].fetch_add(1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot snapshot() const {
+    HistogramSnapshot out;
+    for (const auto& shard : shards_) {
+      for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+        out.buckets[b] += shard->buckets[b].load(std::memory_order_relaxed);
+      }
+      out.count += shard->count.load(std::memory_order_relaxed);
+      out.sum += shard->sum.load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+  void reset() {
+    for (auto& shard : shards_) {
+      for (auto& b : shard->buckets) b.store(0, std::memory_order_relaxed);
+      shard->count.store(0, std::memory_order_relaxed);
+      shard->sum.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct Shard {
+    std::atomic<std::uint64_t> buckets[kHistogramBuckets] = {};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  Padded<Shard> shards_[kShards];
+};
+
+}  // namespace cats::obs

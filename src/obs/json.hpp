@@ -1,0 +1,248 @@
+// Minimal JSON document model and recursive-descent parser.
+//
+// Exists so exporter output can be parsed back — by the round-trip tests
+// and by any tooling that consumes the benchmark metrics files — without
+// adding a dependency the container doesn't have.  Covers the JSON subset
+// the exporters emit: null, bool, finite numbers, strings with standard
+// escapes, arrays, objects.  Numbers are stored as double (53-bit exact
+// integer range), which is sufficient for every metric we export per run.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cats::obs::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : type_(Type::kNull) {}
+  Value(bool b) : type_(Type::kBool), bool_(b) {}
+  Value(double d) : type_(Type::kNumber), num_(d) {}
+  Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Value(Array a) : type_(Type::kArray), arr_(std::move(a)) {}
+  Value(Object o) : type_(Type::kObject), obj_(std::move(o)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+
+  bool as_bool() const { expect(Type::kBool); return bool_; }
+  double as_number() const { expect(Type::kNumber); return num_; }
+  std::uint64_t as_uint() const {
+    return static_cast<std::uint64_t>(as_number());
+  }
+  const std::string& as_string() const { expect(Type::kString); return str_; }
+  const Array& as_array() const { expect(Type::kArray); return arr_; }
+  const Object& as_object() const { expect(Type::kObject); return obj_; }
+
+  /// Object member access; throws if absent or not an object.
+  const Value& at(const std::string& key) const {
+    const Object& o = as_object();
+    auto it = o.find(key);
+    if (it == o.end()) throw std::runtime_error("json: no member " + key);
+    return it->second;
+  }
+  bool has(const std::string& key) const {
+    return type_ == Type::kObject && obj_.count(key) != 0;
+  }
+
+ private:
+  void expect(Type t) const {
+    if (type_ != t) throw std::runtime_error("json: wrong type");
+  }
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+namespace detail {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Value parse() {
+    Value v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) {
+    throw std::runtime_error("json parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= s_.size() || s_[pos_] != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return Value(string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Value(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Value(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Value();
+      default: return number();
+    }
+  }
+
+  Value object() {
+    expect('{');
+    Object o;
+    skip_ws();
+    if (peek() == '}') { ++pos_; return Value(std::move(o)); }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      o.emplace(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect('}');
+      return Value(std::move(o));
+    }
+  }
+
+  Value array() {
+    expect('[');
+    Array a;
+    skip_ws();
+    if (peek() == ']') { ++pos_; return Value(std::move(a)); }
+    while (true) {
+      a.push_back(value());
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect(']');
+      return Value(std::move(a));
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') { out.push_back(c); continue; }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      c = s_[pos_++];
+      switch (c) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Exporters only emit ASCII; encode BMP code points as UTF-8.
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Value number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    bool any = false;
+    auto digits = [&] {
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+        any = true;
+      }
+    };
+    digits();
+    if (pos_ < s_.size() && s_[pos_] == '.') { ++pos_; digits(); }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+      digits();
+    }
+    if (!any) fail("bad number");
+    return Value(std::stod(s_.substr(start, pos_ - start)));
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace detail
+
+/// Parses `text` into a Value; throws std::runtime_error on malformed input.
+inline Value parse(const std::string& text) {
+  return detail::Parser(text).parse();
+}
+
+}  // namespace cats::obs::json

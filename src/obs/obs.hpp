@@ -1,0 +1,38 @@
+// Observability build gate.
+//
+// The obs subsystem (sharded counters, log-scale histograms, the adaptation
+// event trace and the exporters) is compiled behind the CATS_OBS CMake
+// option.  `CATS_OBS_ENABLED` is defined 0 or 1 on every target through the
+// cats_common interface library; hot-path hooks are written as
+//
+//     CATS_OBS_ONLY(obs::g_counters.add(obs::GCounter::kEbrRetire));
+//
+// so an OFF build compiles them to nothing — no loads, no stores, no code.
+//
+// The paper's own eight per-tree statistics counters (splits, joins, ...,
+// Tables 1-2) are NOT behind the gate: they predate this subsystem, the
+// adaptation tests assert on them, and they now share the cheap sharded
+// implementation below.  Everything added on top of the paper is gated.
+#pragma once
+
+#ifndef CATS_OBS_ENABLED
+#define CATS_OBS_ENABLED 1
+#endif
+
+#if CATS_OBS_ENABLED
+#define CATS_OBS_ONLY(...) \
+  do {                     \
+    __VA_ARGS__;           \
+  } while (0)
+#else
+#define CATS_OBS_ONLY(...) \
+  do {                     \
+  } while (0)
+#endif
+
+namespace cats::obs {
+
+/// True in builds where the obs hooks are live.
+inline constexpr bool kEnabled = CATS_OBS_ENABLED != 0;
+
+}  // namespace cats::obs

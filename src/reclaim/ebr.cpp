@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/registry.hpp"
+
 namespace cats::reclaim {
 
 // ---------------------------------------------------------------------------
@@ -114,6 +116,8 @@ Domain::ThreadCtx* Domain::register_thread() {
 
 void Domain::unregister(ThreadCtx* ctx) {
   if (!ctx->retired.empty()) {
+    CATS_OBS_ONLY(
+        obs::count(obs::GCounter::kEbrOrphaned, ctx->retired.size()));
     std::lock_guard<std::mutex> lock(orphan_mutex_);
     orphans_.insert(orphans_.end(), ctx->retired.begin(), ctx->retired.end());
   }
@@ -149,6 +153,7 @@ void Domain::retire(void* ptr, void (*deleter)(void*)) {
   const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
   ctx.retired.push_back({ptr, deleter, e});
   pending_.fetch_add(1, std::memory_order_relaxed);
+  CATS_OBS_ONLY(obs::count(obs::GCounter::kEbrRetired));
   if (++ctx.retire_count % kDrainThreshold == 0) {
     try_advance();
     free_eligible(ctx.retired, global_epoch_.load(std::memory_order_acquire));
@@ -156,6 +161,7 @@ void Domain::retire(void* ptr, void (*deleter)(void*)) {
 }
 
 bool Domain::try_advance() {
+  CATS_OBS_ONLY(obs::count(obs::GCounter::kEbrAdvanceAttempts));
   std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
   for (const auto& slot : slots_) {
     if (slot->owner.load(std::memory_order_acquire) == nullptr) continue;
@@ -163,8 +169,12 @@ bool Domain::try_advance() {
         slot->announced.load(std::memory_order_seq_cst);
     if (announced != kIdle && announced != e) return false;
   }
-  return global_epoch_.compare_exchange_strong(e, e + 1,
-                                               std::memory_order_acq_rel);
+  const bool advanced = global_epoch_.compare_exchange_strong(
+      e, e + 1, std::memory_order_acq_rel);
+  CATS_OBS_ONLY({
+    if (advanced) obs::count(obs::GCounter::kEbrAdvances);
+  });
+  return advanced;
 }
 
 void Domain::free_eligible(std::vector<Retired>& list, std::uint64_t global) {
@@ -184,6 +194,7 @@ void Domain::free_eligible(std::vector<Retired>& list, std::uint64_t global) {
   for (const Retired& r : eligible) r.deleter(r.ptr);
   if (!eligible.empty()) {
     pending_.fetch_sub(eligible.size(), std::memory_order_relaxed);
+    CATS_OBS_ONLY(obs::count(obs::GCounter::kEbrFreed, eligible.size()));
   }
 }
 

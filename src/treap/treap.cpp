@@ -5,6 +5,8 @@
 #include <cassert>
 #include <cstdlib>
 
+#include "obs/registry.hpp"
+
 namespace cats::treap {
 
 namespace {
@@ -38,8 +40,12 @@ struct Node {
       : rc(1), size(size_), min_key(min_), max_key(max_), height(height_),
         is_leaf(is_leaf_) {
     g_live_nodes.fetch_add(1, std::memory_order_relaxed);
+    CATS_OBS_ONLY(obs::count(obs::GCounter::kTreapNodeAllocs));
   }
-  ~Node() { g_live_nodes.fetch_sub(1, std::memory_order_relaxed); }
+  ~Node() {
+    g_live_nodes.fetch_sub(1, std::memory_order_relaxed);
+    CATS_OBS_ONLY(obs::count(obs::GCounter::kTreapNodeFrees));
+  }
 
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;

@@ -48,6 +48,33 @@ TEST(Runner, CountsOperationsAndStops) {
   EXPECT_EQ(r.total_ops, r.group_ops[0]);
 }
 
+TEST(Runner, ReportsPerThreadOperationCounts) {
+  lfca::LfcaTree tree;
+  prefill(tree, 10'000);
+  const Mix mix = Mix::of_percent(50, 50, 0);
+  const RunResult r = run_mix(tree, 3, mix, 10'000, 0.1);
+  ASSERT_EQ(r.per_thread_ops.size(), 3u);
+  std::uint64_t sum = 0;
+  for (std::uint64_t ops : r.per_thread_ops) sum += ops;
+  EXPECT_EQ(sum, r.total_ops);
+  EXPECT_LE(r.ops_min(), r.ops_max());
+  EXPECT_GE(r.ops_stddev(), 0.0);
+  EXPECT_LE(r.ops_stddev(),
+            static_cast<double>(r.ops_max()));
+}
+
+TEST(Workload, PerThreadFairnessStatistics) {
+  RunResult r;
+  r.per_thread_ops = {10, 20, 30};
+  r.total_ops = 60;
+  EXPECT_EQ(r.ops_min(), 10u);
+  EXPECT_EQ(r.ops_max(), 30u);
+  // Population stddev of {10, 20, 30} = sqrt(200/3).
+  EXPECT_NEAR(r.ops_stddev(), std::sqrt(200.0 / 3.0), 1e-9);
+  EXPECT_EQ(RunResult{}.ops_min(), 0u);
+  EXPECT_EQ(RunResult{}.ops_stddev(), 0.0);
+}
+
 TEST(Runner, GroupsAreCountedSeparately) {
   lfca::LfcaTree tree;
   prefill(tree, 10'000);

@@ -1,0 +1,345 @@
+// Tests for the observability layer (src/obs): sharded counters, log-scale
+// histograms, the adaptation-trace ring buffer, and the exporters (table /
+// JSON round-trip / Prometheus).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "lfca/lfca_tree.hpp"
+#include "obs/counters.hpp"
+#include "obs/export.hpp"
+#include "obs/histogram.hpp"
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace cats;
+
+// ---------------------------------------------------------------------------
+// Sharded counters.
+// ---------------------------------------------------------------------------
+
+TEST(ObsCounters, SingleThreadAddAndRead) {
+  obs::ShardedCounters<4> c;
+  EXPECT_EQ(c.read(0), 0u);
+  c.add(0);
+  c.add(0, 41);
+  c.add(3, 7);
+  EXPECT_EQ(c.read(0), 42u);
+  EXPECT_EQ(c.read(1), 0u);
+  EXPECT_EQ(c.read(3), 7u);
+  c.reset();
+  EXPECT_EQ(c.read(0), 0u);
+  EXPECT_EQ(c.read(3), 0u);
+}
+
+TEST(ObsCounters, AggregatesAcrossThreads) {
+  obs::ShardedCounters<2> c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kAdds = 20'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kAdds; ++i) c.add(1, 3);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Exact in quiescence: every relaxed increment landed in some shard.
+  EXPECT_EQ(c.read(1), kThreads * kAdds * 3);
+  EXPECT_EQ(c.read(0), 0u);
+}
+
+TEST(ObsCounters, ShardIndexStablePerThread) {
+  const std::size_t mine = obs::shard_index();
+  EXPECT_EQ(obs::shard_index(), mine);
+  EXPECT_LT(mine, obs::kShards);
+}
+
+// ---------------------------------------------------------------------------
+// Log-scale histograms.
+// ---------------------------------------------------------------------------
+
+TEST(ObsHistogram, BucketBoundaries) {
+  EXPECT_EQ(obs::histogram_bucket(0), 0u);
+  EXPECT_EQ(obs::histogram_bucket(1), 1u);
+  EXPECT_EQ(obs::histogram_bucket(2), 2u);
+  EXPECT_EQ(obs::histogram_bucket(3), 2u);
+  EXPECT_EQ(obs::histogram_bucket(4), 3u);
+  EXPECT_EQ(obs::histogram_bucket(255), 8u);
+  EXPECT_EQ(obs::histogram_bucket(256), 9u);
+  EXPECT_EQ(obs::histogram_bucket(std::numeric_limits<std::uint64_t>::max()),
+            obs::kHistogramBuckets - 1);
+
+  EXPECT_EQ(obs::bucket_low(0), 0u);
+  EXPECT_EQ(obs::bucket_high(0), 0u);
+  EXPECT_EQ(obs::bucket_low(1), 1u);
+  EXPECT_EQ(obs::bucket_high(1), 1u);
+  EXPECT_EQ(obs::bucket_low(8), 128u);
+  EXPECT_EQ(obs::bucket_high(8), 255u);
+  EXPECT_EQ(obs::bucket_high(obs::kHistogramBuckets - 1),
+            std::numeric_limits<std::uint64_t>::max());
+
+  // Every sample falls inside its own bucket's [low, high] range.
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 7ull, 8ull, 1023ull,
+                          1024ull, 123456789ull}) {
+    const std::size_t b = obs::histogram_bucket(v);
+    EXPECT_GE(v, obs::bucket_low(b)) << v;
+    EXPECT_LE(v, obs::bucket_high(b)) << v;
+  }
+}
+
+TEST(ObsHistogram, RecordSnapshotQuantiles) {
+  obs::LogHistogram h;
+  for (int i = 0; i < 10; ++i) h.record(1);
+  for (int i = 0; i < 90; ++i) h.record(1024);
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.sum, 10u + 90u * 1024u);
+  EXPECT_EQ(s.buckets[1], 10u);
+  EXPECT_EQ(s.buckets[11], 90u);  // 1024 in [1024, 2047]
+  EXPECT_EQ(s.quantile_bound(0.05), 1u);
+  EXPECT_EQ(s.quantile_bound(0.5), 2047u);
+  EXPECT_EQ(s.quantile_bound(0.99), 2047u);
+  EXPECT_NEAR(s.mean(), (10.0 + 90.0 * 1024.0) / 100.0, 1e-9);
+
+  h.reset();
+  EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+TEST(ObsHistogram, MergesAcrossThreads) {
+  obs::LogHistogram h;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kSamples = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kSamples; ++i) {
+        h.record(static_cast<std::uint64_t>(t) + 1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, kThreads * kSamples);
+  EXPECT_EQ(s.sum, (1u + 2u + 3u + 4u) * kSamples);
+}
+
+// ---------------------------------------------------------------------------
+// Adaptation trace.
+// ---------------------------------------------------------------------------
+
+TEST(ObsTrace, RecordsAndDumpsInOrder) {
+  obs::AdaptTrace trace;
+  trace.record(obs::AdaptKind::kSplit, 2, 1001);
+  trace.record(obs::AdaptKind::kJoin, 3, -1005);
+  trace.record(obs::AdaptKind::kJoinAborted, 1, -1002);
+  const auto events = trace.dump();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, obs::AdaptKind::kSplit);
+  EXPECT_EQ(events[0].depth, 2u);
+  EXPECT_EQ(events[0].stat, 1001);
+  EXPECT_EQ(events[1].kind, obs::AdaptKind::kJoin);
+  EXPECT_EQ(events[2].kind, obs::AdaptKind::kJoinAborted);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].time_ns, events[i].time_ns);
+  }
+}
+
+TEST(ObsTrace, RingWrapsKeepingNewestEntries) {
+  obs::AdaptTrace trace;
+  constexpr std::uint64_t kExtra = 100;
+  const std::uint64_t total = obs::AdaptTrace::kRingSize + kExtra;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    trace.record(obs::AdaptKind::kSplit, 0, static_cast<std::int32_t>(i));
+  }
+  EXPECT_EQ(trace.recorded(), total);
+  const auto events = trace.dump();
+  ASSERT_EQ(events.size(), obs::AdaptTrace::kRingSize);
+  // The oldest kExtra entries were overwritten; the dump holds exactly the
+  // newest kRingSize, still in order.
+  std::int32_t min_stat = events[0].stat, max_stat = events[0].stat;
+  for (const auto& e : events) {
+    min_stat = std::min(min_stat, e.stat);
+    max_stat = std::max(max_stat, e.stat);
+  }
+  EXPECT_EQ(min_stat, static_cast<std::int32_t>(kExtra));
+  EXPECT_EQ(max_stat, static_cast<std::int32_t>(total - 1));
+
+  trace.reset();
+  EXPECT_EQ(trace.recorded(), 0u);
+  EXPECT_TRUE(trace.dump().empty());
+}
+
+TEST(ObsTrace, ConcurrentRecordAndDump) {
+  obs::AdaptTrace trace;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&trace, &stop] {
+      std::int32_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        trace.record(obs::AdaptKind::kJoin, 1, i++);
+      }
+    });
+  }
+  // Dump while writers wrap their rings; every surviving entry must be
+  // intact (the seq tags drop torn slots).
+  for (int round = 0; round < 50; ++round) {
+    for (const auto& e : trace.dump()) {
+      EXPECT_EQ(e.kind, obs::AdaptKind::kJoin);
+      EXPECT_EQ(e.depth, 1u);
+      EXPECT_GE(e.stat, 0);
+    }
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+}
+
+// ---------------------------------------------------------------------------
+// Exporters.
+// ---------------------------------------------------------------------------
+
+obs::Snapshot make_test_snapshot() {
+  obs::Snapshot snap;
+  snap.add_counter("alpha", 42);
+  snap.add_counter("weird \"name\"\n", 7);
+  snap.add_gauge("backlog", 2.5);
+  obs::LogHistogram h;
+  h.record(0);
+  h.record(1);
+  h.record(100);
+  h.record(1'000'000);
+  snap.add_histogram("lat", h.snapshot());
+  obs::TraceEvent e;
+  e.time_ns = 123;
+  e.kind = obs::AdaptKind::kJoin;
+  e.depth = 3;
+  e.stat = -5;
+  e.thread = 1;
+  snap.events.push_back(e);
+  return snap;
+}
+
+TEST(ObsExport, JsonRoundTrip) {
+  const obs::Snapshot snap = make_test_snapshot();
+  std::ostringstream os;
+  obs::write_json(os, snap);
+  const obs::json::Value doc = obs::json::parse(os.str());
+
+  EXPECT_EQ(doc.at("counters").at("alpha").as_uint(), 42u);
+  EXPECT_EQ(doc.at("counters").at("weird \"name\"\n").as_uint(), 7u);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("backlog").as_number(), 2.5);
+
+  const obs::json::Value& lat = doc.at("histograms").at("lat");
+  EXPECT_EQ(lat.at("count").as_uint(), 4u);
+  EXPECT_EQ(lat.at("sum").as_uint(), 1'000'101u);
+  // Samples 0, 1, 100, 1000000 land in buckets 0, 1, 7, 20.
+  const obs::json::Array& buckets = lat.at("buckets").as_array();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0].at("bucket").as_uint(), 0u);
+  EXPECT_EQ(buckets[1].at("bucket").as_uint(), 1u);
+  EXPECT_EQ(buckets[2].at("bucket").as_uint(), 7u);
+  EXPECT_EQ(buckets[2].at("low").as_uint(), 64u);
+  EXPECT_EQ(buckets[3].at("bucket").as_uint(), 20u);
+  for (const auto& b : buckets) EXPECT_EQ(b.at("count").as_uint(), 1u);
+
+  const obs::json::Array& trace = doc.at("trace").as_array();
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].at("t_ns").as_uint(), 123u);
+  EXPECT_EQ(trace[0].at("kind").as_string(), "join");
+  EXPECT_EQ(trace[0].at("depth").as_uint(), 3u);
+  EXPECT_DOUBLE_EQ(trace[0].at("stat").as_number(), -5.0);
+}
+
+TEST(ObsExport, JsonParserRejectsMalformedInput) {
+  EXPECT_THROW(obs::json::parse(""), std::runtime_error);
+  EXPECT_THROW(obs::json::parse("{"), std::runtime_error);
+  EXPECT_THROW(obs::json::parse("{\"a\":}"), std::runtime_error);
+  EXPECT_THROW(obs::json::parse("[1,2,]"), std::runtime_error);
+  EXPECT_THROW(obs::json::parse("123 trailing"), std::runtime_error);
+  EXPECT_THROW(obs::json::parse("\"unterminated"), std::runtime_error);
+}
+
+TEST(ObsExport, TableAndPrometheusContainMetrics) {
+  const obs::Snapshot snap = make_test_snapshot();
+
+  std::ostringstream table;
+  obs::write_table(table, snap);
+  EXPECT_NE(table.str().find("alpha"), std::string::npos);
+  EXPECT_NE(table.str().find("join"), std::string::npos);
+
+  std::ostringstream prom;
+  obs::write_prometheus(prom, snap);
+  const std::string text = prom.str();
+  EXPECT_NE(text.find("# TYPE cats_alpha counter"), std::string::npos);
+  EXPECT_NE(text.find("cats_alpha 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cats_lat histogram"), std::string::npos);
+  EXPECT_NE(text.find("cats_lat_bucket{le=\"+Inf\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("cats_lat_sum 1000101"), std::string::npos);
+  EXPECT_NE(text.find("cats_adaptation_events 1"), std::string::npos);
+}
+
+TEST(ObsExport, SnapshotCounterLookup) {
+  const obs::Snapshot snap = make_test_snapshot();
+  EXPECT_EQ(snap.counter("alpha"), 42u);
+  EXPECT_EQ(snap.counter("absent"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Integration with the tree: paper counters flow into snapshots, and (in
+// CATS_OBS builds) adaptations land in the global trace.
+// ---------------------------------------------------------------------------
+
+TEST(ObsIntegration, TreeStatsAppendToSnapshot) {
+  reclaim::Domain domain;
+  {
+    lfca::LfcaTree tree(domain);
+    for (Key k = 1; k <= 256; ++k) tree.insert(k, k);
+    ASSERT_TRUE(tree.force_split(128));
+    const lfca::Stats stats = tree.stats();
+    EXPECT_GE(stats.splits, 1u);
+
+    obs::Snapshot snap;
+    stats.append_to(snap, "lfca_");
+    EXPECT_EQ(snap.counter("lfca_splits"), stats.splits);
+
+    std::ostringstream os;
+    obs::write_json(os, snap);
+    const obs::json::Value doc = obs::json::parse(os.str());
+    EXPECT_EQ(doc.at("counters").at("lfca_splits").as_uint(), stats.splits);
+  }
+  domain.drain();
+}
+
+#if CATS_OBS_ENABLED
+TEST(ObsIntegration, ForcedAdaptationsReachGlobalTrace) {
+  obs::Registry::instance().reset();
+  reclaim::Domain domain;
+  {
+    lfca::LfcaTree tree(domain);
+    for (Key k = 1; k <= 256; ++k) tree.insert(k, k);
+    ASSERT_TRUE(tree.force_split(128));
+    ASSERT_TRUE(tree.force_join(128));
+  }
+  domain.drain();
+
+  const obs::Snapshot snap = obs::global_snapshot();
+  bool saw_split = false, saw_join = false;
+  for (const auto& e : snap.events) {
+    saw_split |= e.kind == obs::AdaptKind::kSplit;
+    saw_join |= e.kind == obs::AdaptKind::kJoin;
+  }
+  EXPECT_TRUE(saw_split);
+  EXPECT_TRUE(saw_join);
+  EXPECT_GT(snap.counter("ebr_retired"), 0u);
+  EXPECT_GT(snap.counter("treap_node_allocs"), 0u);
+}
+#endif  // CATS_OBS_ENABLED
+
+}  // namespace
