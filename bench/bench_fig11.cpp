@@ -35,6 +35,11 @@ int main(int argc, char** argv) {
   config.cont_contrib = opt.cont_contrib;
   lfca::LfcaTree tree(reclaim::Domain::global(), config);
   harness::prefill(tree, opt.size);
+  // Live monitoring of the adaptation run (--monitor-interval-ms,
+  // --monitor-port, --metrics-out, --series-out); declared after the tree
+  // so its sampler stops before the tree dies.
+  harness::MonitoredRun monitored(opt, harness::tree_stats_source(tree),
+                                  harness::tree_topology_source(tree));
 
   std::atomic<std::int64_t> range_max{phases[0]};
   std::atomic<bool> stop{false};
@@ -69,6 +74,7 @@ int main(int argc, char** argv) {
           if (sum == 0xdeadbeefdeadbeefull) std::abort();
         }
         ops[t]->fetch_add(1, std::memory_order_relaxed);
+        CATS_OBS_ONLY(obs::count(obs::GCounter::kHarnessOps));
       }
     });
   }
@@ -114,5 +120,6 @@ int main(int argc, char** argv) {
   }
   stop.store(true);
   for (auto& w : workers) w.join();
+  monitored.finish();
   return 0;
 }

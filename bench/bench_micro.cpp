@@ -6,8 +6,10 @@
 // immutable-container design.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -155,11 +157,16 @@ BENCHMARK(BM_StructureInsertRemove<skiplist::SkipList>)
 // Metrics demo.  After the microbenchmarks, run a short contended mix
 // against an LFCA tree with sensitive adaptation thresholds and export
 // everything the observability layer collected — counters, latency
-// histograms and the adaptation-event trace — to bench_micro_metrics.json
-// (parse it back with obs/json.hpp, or eyeball the table printed below).
+// histograms, topology and the adaptation-event trace — through the
+// harness's monitored-run mode (harness::MonitoredRun): the final snapshot
+// lands in bench_micro_metrics.json, the sampler's rate time-series in
+// bench_micro_series.csv, and with --monitor-port=P the same data is
+// served live at /metrics, /stats.json, /topology.json and /healthz while
+// the mix is running.
 // ---------------------------------------------------------------------------
-void run_metrics_demo() {
+void run_metrics_demo(const harness::Options& opt, double duration) {
 #if CATS_OBS_ENABLED
+  // Quiescent here — the worker threads haven't started yet.
   obs::Registry::instance().reset();
 
   lfca::Config config;
@@ -169,28 +176,35 @@ void run_metrics_demo() {
   {
     lfca::LfcaTree tree(domain, config);
     harness::prefill(tree, 1 << 14);
+    // Declared after the tree: the monitor samples through the tree and
+    // must stop before it is destroyed.
+    harness::MonitoredRun monitored(opt, harness::tree_stats_source(tree),
+                                    harness::tree_topology_source(tree));
     const harness::Mix mix = harness::Mix::of_percent(80, 10, 10, 256);
-    harness::run_mix(tree, 4, mix, 1 << 14, 0.3);
+    harness::run_mix(tree, 4, mix, 1 << 14, duration);
     // The mix above splits under real contention; add a deterministic round
-    // of forced adaptations so the exported file always shows both
-    // directions, even on a single-core host.
+    // of forced adaptations so the exported data always shows both
+    // directions, even on a single-core host where the contended phase
+    // barely splits.  Hold each phase for a few sampler intervals so the
+    // time-series records the plateau: the base-node column rises to ~9
+    // and falls back regardless of hardware.
+    const auto hold = std::chrono::milliseconds(
+        opt.monitor_interval_ms > 0 ? 3 * opt.monitor_interval_ms : 0);
     for (Key k = 0; k < 8; ++k) tree.force_split(k * 2048);
+    std::this_thread::sleep_for(hold);
     for (Key k = 0; k < 8; ++k) tree.force_join(k * 2048);
+    std::this_thread::sleep_for(hold);
 
     obs::Snapshot snap = obs::global_snapshot();
     tree.stats().append_to(snap, "lfca_");
-
     std::printf("\n--- observability snapshot ---\n");
     obs::write_table(std::cout, snap);
-    const char* path = "bench_micro_metrics.json";
-    if (obs::write_json_file(path, snap)) {
-      std::printf("metrics written to %s\n", path);
-    } else {
-      std::fprintf(stderr, "failed to write %s\n", path);
-    }
+    monitored.finish();  // stops endpoint + sampler, writes the files
   }
   domain.drain();
 #else
+  (void)opt;
+  (void)duration;
   std::printf("\n(CATS_OBS=OFF: metrics export compiled out)\n");
 #endif
 }
@@ -198,10 +212,41 @@ void run_metrics_demo() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The metrics demo's flags are ours, not google-benchmark's; pull them
+  // out before Initialize (ReportUnrecognizedArguments rejects unknowns).
+  cats::harness::Options opt;
+  opt.monitor_interval_ms = 50;
+  opt.metrics_out = "bench_micro_metrics.json";
+  opt.series_out = "bench_micro_series.csv";
+  double demo_duration = 0.3;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      return arg.compare(0, std::strlen(prefix), prefix) == 0
+                 ? arg.c_str() + std::strlen(prefix)
+                 : nullptr;
+    };
+    if (const char* v = value("--monitor-interval-ms=")) {
+      opt.monitor_interval_ms = std::atoi(v);
+    } else if (const char* v = value("--monitor-port=")) {
+      opt.monitor_port = std::atoi(v);
+    } else if (const char* v = value("--metrics-out=")) {
+      opt.metrics_out = v;
+    } else if (const char* v = value("--series-out=")) {
+      opt.series_out = v;
+    } else if (const char* v = value("--demo-duration=")) {
+      demo_duration = std::atof(v);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  run_metrics_demo();
+  run_metrics_demo(opt, demo_duration);
   return 0;
 }

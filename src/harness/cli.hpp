@@ -35,6 +35,17 @@ struct Options {
   int high_cont = 1000;
   int low_cont = -1000;
   int cont_contrib = 250;
+  /// Live monitoring (CATS_OBS builds; see harness::MonitoredRun).
+  /// Sampling interval of the background monitor; 0 disables the sampler.
+  int monitor_interval_ms = 0;
+  /// HTTP endpoint port (-1 disabled, 0 ephemeral — the bound port is
+  /// printed to stderr).
+  int monitor_port = -1;
+  /// Where the final metrics snapshot (JSON) is written; empty = nowhere.
+  std::string metrics_out;
+  /// Where the monitor's rate time-series (CSV) is written; empty =
+  /// nowhere.  Needs --monitor-interval-ms > 0 to have any rows.
+  std::string series_out;
 
   static Options parse(int argc, char** argv) {
     Options opt;
@@ -75,6 +86,14 @@ struct Options {
       } else if (arg == "--sensitive") {
         opt.high_cont = 0;
         opt.low_cont = -100;
+      } else if (const char* v = value("--monitor-interval-ms=")) {
+        opt.monitor_interval_ms = std::atoi(v);
+      } else if (const char* v = value("--monitor-port=")) {
+        opt.monitor_port = std::atoi(v);
+      } else if (const char* v = value("--metrics-out=")) {
+        opt.metrics_out = v;
+      } else if (const char* v = value("--series-out=")) {
+        opt.series_out = v;
       } else if (arg == "--paper") {
         // The paper's configuration (§7): S = 10^6, 10 s runs, 3 runs
         // averaged, thread counts up to 128.
@@ -86,7 +105,8 @@ struct Options {
         std::printf(
             "options: --duration=SEC --runs=N --size=S --threads=a,b,c "
             "--csv --only=NAME --paper --sensitive --high-cont=X "
-            "--low-cont=X --cont-contrib=X\n");
+            "--low-cont=X --cont-contrib=X --monitor-interval-ms=MS "
+            "--monitor-port=P --metrics-out=FILE --series-out=FILE\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown option: %s\n", arg.c_str());

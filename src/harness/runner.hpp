@@ -16,15 +16,24 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/padded.hpp"
 #include "common/rng.hpp"
 #include "common/spin_barrier.hpp"
 #include "common/types.hpp"
+#include "harness/cli.hpp"
 #include "harness/workload.hpp"
+#include "obs/export.hpp"
+#include "obs/http_server.hpp"
+#include "obs/monitor.hpp"
 #include "obs/registry.hpp"
 
 namespace cats::harness {
@@ -133,6 +142,10 @@ RunResult run_mix(S& structure, const std::vector<ThreadGroup>& groups,
           }
 #endif
           ++my.ops;
+          // Feed the process-wide op counter so a live monitor can derive
+          // ops/sec; one relaxed sharded add, same cost class as the other
+          // per-op hooks (bench_obs measures the total within noise).
+          CATS_OBS_ONLY(obs::count(obs::GCounter::kHarnessOps));
         }
       });
     }
@@ -165,5 +178,169 @@ RunResult run_mix(S& structure, int threads, const Mix& mix, Key key_range,
   return run_mix(structure, std::vector<ThreadGroup>{{threads, mix}},
                  key_range, duration_seconds, seed);
 }
+
+// ---------------------------------------------------------------------------
+// Monitored-run mode.
+//
+// Wraps one benchmark run in the active observability stack: a background
+// obs::Monitor sampling rates at --monitor-interval-ms, and an embedded
+// obs::HttpServer on --monitor-port serving /metrics (Prometheus),
+// /stats.json, /topology.json and /healthz while the run is under load.
+// finish() (or the destructor) stops both and writes the final snapshot
+// (--metrics-out) and the rate time-series (--series-out) — the single
+// code path every bench binary uses for metrics dumping.
+//
+// Lifetime: the sources capture the structure, so a MonitoredRun must be
+// declared after (destroyed before) the structure and its domain.
+// ---------------------------------------------------------------------------
+
+#if CATS_OBS_ENABLED
+
+class MonitoredRun {
+ public:
+  using StatsSource = obs::Monitor::StatsSource;
+  using TopologySource = obs::Monitor::TopologySource;
+
+  MonitoredRun(const Options& opt, StatsSource stats,
+               TopologySource topology = {})
+      : stats_(std::move(stats)), metrics_path_(opt.metrics_out),
+        series_path_(opt.series_out) {
+    if (opt.monitor_interval_ms > 0) {
+      obs::Monitor::Config config;
+      config.interval = std::chrono::milliseconds(opt.monitor_interval_ms);
+      // The stats source already carries the topology as gauges
+      // (tree_stats_source), so the monitor gets no separate topology
+      // source — one tree walk per sample, no duplicate CSV columns.  The
+      // topology source only feeds the /topology.json route.
+      monitor_ = std::make_unique<obs::Monitor>(config, stats_);
+      monitor_->start();
+    }
+    if (opt.monitor_port >= 0) {
+      server_ = std::make_unique<obs::HttpServer>(opt.monitor_port);
+      server_->handle("/healthz", "text/plain",
+                      [] { return std::string("ok\n"); });
+      server_->handle("/metrics", "text/plain; version=0.0.4",
+                      [src = stats_] {
+                        std::ostringstream os;
+                        obs::write_prometheus(os, src());
+                        return os.str();
+                      });
+      server_->handle("/stats.json", "application/json", [src = stats_] {
+        std::ostringstream os;
+        obs::write_json(os, src());
+        return os.str();
+      });
+      if (topology) {
+        server_->handle("/topology.json", "application/json",
+                        [src = topology] {
+                          std::ostringstream os;
+                          obs::write_topology_json(os, src());
+                          return os.str();
+                        });
+      }
+      if (server_->start()) {
+        std::fprintf(stderr,
+                     "monitor: serving http://127.0.0.1:%d/metrics\n",
+                     server_->port());
+      } else {
+        server_.reset();
+      }
+    }
+  }
+
+  ~MonitoredRun() { finish(); }
+  MonitoredRun(const MonitoredRun&) = delete;
+  MonitoredRun& operator=(const MonitoredRun&) = delete;
+
+  /// Bound HTTP port, or -1 when no endpoint is up.
+  int port() const { return server_ ? server_->port() : -1; }
+  obs::Monitor* monitor() { return monitor_.get(); }
+
+  /// Stops the endpoint and the sampler and writes the output files.
+  /// Idempotent; also run by the destructor.
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    if (server_) server_->stop();
+    if (monitor_) monitor_->stop();
+    if (!metrics_path_.empty()) {
+      if (obs::write_json_file(metrics_path_, stats_())) {
+        std::fprintf(stderr, "monitor: metrics written to %s\n",
+                     metrics_path_.c_str());
+      } else {
+        std::fprintf(stderr, "monitor: failed to write %s\n",
+                     metrics_path_.c_str());
+      }
+    }
+    if (monitor_ && !series_path_.empty()) {
+      if (monitor_->write_csv_file(series_path_)) {
+        std::fprintf(stderr, "monitor: time series written to %s\n",
+                     series_path_.c_str());
+      } else {
+        std::fprintf(stderr, "monitor: failed to write %s\n",
+                     series_path_.c_str());
+      }
+    }
+  }
+
+ private:
+  StatsSource stats_;
+  std::string metrics_path_;
+  std::string series_path_;
+  std::unique_ptr<obs::Monitor> monitor_;
+  std::unique_ptr<obs::HttpServer> server_;
+  bool finished_ = false;
+};
+
+/// Sources for an LFCA-style tree (anything with stats() and
+/// collect_topology()): the global registry snapshot plus the tree's own
+/// counters, and the EBR-guarded topology walk.
+template <class Tree>
+MonitoredRun::StatsSource tree_stats_source(Tree& tree,
+                                            std::string prefix = "lfca_") {
+  return [&tree, prefix] {
+    obs::Snapshot snap = obs::global_snapshot();
+    tree.stats().append_to(snap, prefix);
+    tree.collect_topology().append_to(snap, prefix + "topo_");
+    return snap;
+  };
+}
+
+template <class Tree>
+MonitoredRun::TopologySource tree_topology_source(Tree& tree) {
+  return [&tree] { return tree.collect_topology(); };
+}
+
+#else  // !CATS_OBS_ENABLED
+
+/// CATS_OBS=OFF stub: same shape, no thread, no socket, no output.  The
+/// sources are cheap no-op placeholders so call sites compile unchanged.
+class MonitoredRun {
+ public:
+  using StatsSource = int;
+  using TopologySource = int;
+
+  MonitoredRun(const Options& opt, StatsSource = 0, TopologySource = 0) {
+    if (opt.monitor_interval_ms > 0 || opt.monitor_port >= 0 ||
+        !opt.metrics_out.empty() || !opt.series_out.empty()) {
+      std::fprintf(stderr,
+                   "monitor: requested but compiled out (CATS_OBS=OFF)\n");
+    }
+  }
+  int port() const { return -1; }
+  void finish() {}
+};
+
+template <class Tree>
+MonitoredRun::StatsSource tree_stats_source(Tree&,
+                                            const std::string& = "lfca_") {
+  return 0;
+}
+template <class Tree>
+MonitoredRun::TopologySource tree_topology_source(Tree&) {
+  return 0;
+}
+
+#endif  // CATS_OBS_ENABLED
 
 }  // namespace cats::harness

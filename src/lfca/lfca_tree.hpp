@@ -36,6 +36,7 @@
 #include "lfca/config.hpp"
 #include "obs/counters.hpp"
 #include "obs/obs.hpp"
+#include "obs/topology.hpp"
 #include "lfca/container_policy.hpp"
 #include "lfca/node.hpp"
 #include "lfca/stats.hpp"
@@ -77,6 +78,14 @@ class BasicLfcaTree {
 
   /// Number of route nodes (Tables 1 & 2).  Racy walk; exact in quiescence.
   std::size_t route_node_count() const;
+
+  /// Live structural snapshot: walks the whole route tree inside one EBR
+  /// guard and returns the node census, depth and occupancy histograms and
+  /// contention-statistic distribution (obs/topology.hpp).  Safe to call
+  /// from any thread concurrently with updates, range queries and
+  /// adaptations; counts are exact in quiescence and off by at most the
+  /// adaptations that raced the walk otherwise.
+  obs::TopologySnapshot collect_topology() const;
 
   /// Verifies structural invariants (route-key ordering vs. container key
   /// ranges, container invariants are the policy's own concern).  Intended

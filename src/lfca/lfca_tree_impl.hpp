@@ -814,6 +814,46 @@ std::size_t count_routes(Node<C>* n) {
          count_routes<C>(n->right.load(std::memory_order_acquire));
 }
 
+/// Topology walk (see BasicLfcaTree::collect_topology).  Must run inside an
+/// EBR guard: child pointers are acquire-loaded, so every node reached was
+/// published before we saw it, its immutable fields (type, data, parent)
+/// are complete, and the guard keeps even concurrently-unlinked nodes
+/// allocated until we are done.  The only mutable fields read are atomics
+/// (valid, join_id, stat), so the walk is race-free by construction.
+template <class C>
+void topology_walk(Node<C>* n, std::uint32_t route_depth,
+                   obs::TopologySnapshot& out) {
+  if (n->type == NodeType::kRoute) {
+    ++out.route_nodes;
+    if (!n->valid.load(std::memory_order_acquire)) ++out.invalid_routes;
+    if (n->join_id.load(std::memory_order_acquire) != nullptr) {
+      ++out.marked_routes;
+    }
+    topology_walk<C>(n->left.load(std::memory_order_acquire),
+                     route_depth + 1, out);
+    topology_walk<C>(n->right.load(std::memory_order_acquire),
+                     route_depth + 1, out);
+    return;
+  }
+  ++out.base_nodes;
+  switch (n->type) {
+    case NodeType::kNormal: ++out.normal_bases; break;
+    case NodeType::kJoinMain:
+    case NodeType::kJoinNeighbor: ++out.joining_bases; break;
+    case NodeType::kRange: ++out.range_bases; break;
+    case NodeType::kRoute: break;  // unreachable
+  }
+  out.depth.add(route_depth);
+  if (route_depth > out.max_depth) out.max_depth = route_depth;
+  const std::size_t occupancy = C::size(n->data);
+  out.items += occupancy;
+  out.occupancy.add(occupancy);
+  const std::int64_t stat = n->stat.load(std::memory_order_relaxed);
+  if (out.base_nodes == 1 || stat < out.stat_min) out.stat_min = stat;
+  if (out.base_nodes == 1 || stat > out.stat_max) out.stat_max = stat;
+  out.stat_abs.add(static_cast<std::uint64_t>(stat < 0 ? -stat : stat));
+}
+
 /// Quiescent structural check: route keys form a BST and every base node's
 /// container keys lie inside the key interval its route path implies.
 template <class C>
@@ -864,6 +904,14 @@ bool BasicLfcaTree<C>::check_integrity() const {
   constexpr __int128 lo = static_cast<__int128>(kKeyMin) - 1;
   constexpr __int128 hi = static_cast<__int128>(kKeyMax) + 1;
   return detail::check_rec<C>(root_.load(std::memory_order_acquire), lo, hi);
+}
+
+template <class C>
+obs::TopologySnapshot BasicLfcaTree<C>::collect_topology() const {
+  obs::TopologySnapshot out;
+  reclaim::Domain::Guard guard(domain_);
+  detail::topology_walk<C>(root_.load(std::memory_order_acquire), 0, out);
+  return out;
 }
 
 template <class C>

@@ -19,21 +19,24 @@ std::uint64_t Snapshot::counter(const std::string& name) const {
 Snapshot global_snapshot() {
   Snapshot snap;
   Registry& reg = Registry::instance();
+  const RegistryValues values = reg.snapshot();  // non-destructive copy
   for (std::size_t i = 0; i < static_cast<std::size_t>(GCounter::kCount);
        ++i) {
     const auto c = static_cast<GCounter>(i);
-    snap.add_counter(gcounter_name(c), reg.read(c));
+    snap.add_counter(gcounter_name(c), values.counter(c));
   }
-  snap.add_gauge("ebr_backlog",
-                 static_cast<double>(reg.read(GCounter::kEbrRetired)) -
-                     static_cast<double>(reg.read(GCounter::kEbrFreed)));
-  snap.add_gauge("treap_live_nodes",
-                 static_cast<double>(reg.read(GCounter::kTreapNodeAllocs)) -
-                     static_cast<double>(reg.read(GCounter::kTreapNodeFrees)));
+  snap.add_gauge(
+      "ebr_backlog",
+      static_cast<double>(values.counter(GCounter::kEbrRetired)) -
+          static_cast<double>(values.counter(GCounter::kEbrFreed)));
+  snap.add_gauge(
+      "treap_live_nodes",
+      static_cast<double>(values.counter(GCounter::kTreapNodeAllocs)) -
+          static_cast<double>(values.counter(GCounter::kTreapNodeFrees)));
   for (std::size_t i = 0; i < static_cast<std::size_t>(GHistogram::kCount);
        ++i) {
     const auto h = static_cast<GHistogram>(i);
-    snap.add_histogram(ghistogram_name(h), reg.histogram(h).snapshot());
+    snap.add_histogram(ghistogram_name(h), values.histogram(h));
   }
   snap.events = reg.trace().dump();
   return snap;
@@ -61,12 +64,12 @@ void write_table(std::ostream& os, const Snapshot& snap) {
   }
   os << "-- histograms --\n";
   for (const auto& [name, h] : snap.histograms) {
-    char line[160];
+    char line[192];
     std::snprintf(line, sizeof line,
-                  "%-28s count=%-10" PRIu64 " mean=%-12.1f p50<=%-12" PRIu64
-                  " p99<=%" PRIu64 "\n",
-                  name.c_str(), h.count, h.mean(), h.quantile_bound(0.5),
-                  h.quantile_bound(0.99));
+                  "%-28s count=%-10" PRIu64
+                  " mean=%-12.1f p50=%-12.1f p90=%-12.1f p99=%.1f\n",
+                  name.c_str(), h.count, h.mean(), h.quantile(0.5),
+                  h.quantile(0.9), h.quantile(0.99));
     os << line;
   }
   os << "-- adaptation trace (" << snap.events.size() << " events) --\n";
@@ -112,10 +115,13 @@ void json_escape(std::ostream& os, const std::string& s) {
   os << '"';
 }
 
+}  // namespace
+
 void write_histogram_json(std::ostream& os, const HistogramSnapshot& h) {
   os << "{\"count\":" << h.count << ",\"sum\":" << h.sum
-     << ",\"mean\":" << h.mean() << ",\"p50\":" << h.quantile_bound(0.5)
-     << ",\"p99\":" << h.quantile_bound(0.99) << ",\"buckets\":[";
+     << ",\"mean\":" << h.mean() << ",\"p50\":" << h.quantile(0.5)
+     << ",\"p90\":" << h.quantile(0.9) << ",\"p99\":" << h.quantile(0.99)
+     << ",\"buckets\":[";
   bool first = true;
   for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
     if (h.buckets[b] == 0) continue;
@@ -126,8 +132,6 @@ void write_histogram_json(std::ostream& os, const HistogramSnapshot& h) {
   }
   os << "]}";
 }
-
-}  // namespace
 
 void write_json(std::ostream& os, const Snapshot& snap) {
   os << "{\"counters\":{";
@@ -209,6 +213,15 @@ void write_prometheus(std::ostream& os, const Snapshot& snap) {
     os << n << "_bucket{le=\"+Inf\"} " << h.count << '\n'
        << n << "_sum " << h.sum << '\n'
        << n << "_count " << h.count << '\n';
+    // Interpolated quantiles as a companion gauge (summary-style samples;
+    // kept under a separate name so the histogram series stays canonical).
+    os << "# TYPE " << n << "_quantile gauge\n";
+    for (const double q : {0.5, 0.9, 0.99}) {
+      char row[160];
+      std::snprintf(row, sizeof row, "%s_quantile{q=\"%g\"} %.1f\n",
+                    n.c_str(), q, h.quantile(q));
+      os << row;
+    }
   }
   // The trace is not a Prometheus concept; expose its volume as a counter.
   const std::string n = prom_name("adaptation_events");

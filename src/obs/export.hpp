@@ -54,6 +54,10 @@ void write_table(std::ostream& os, const Snapshot& snap);
 void write_json(std::ostream& os, const Snapshot& snap);
 void write_prometheus(std::ostream& os, const Snapshot& snap);
 
+/// One histogram as a JSON object ({"count":...,"buckets":[...]}); the
+/// building block of write_json, shared with the topology exporter.
+void write_histogram_json(std::ostream& os, const HistogramSnapshot& h);
+
 /// write_json straight to a file; returns false on I/O failure.
 bool write_json_file(const std::string& path, const Snapshot& snap);
 

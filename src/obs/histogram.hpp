@@ -39,11 +39,20 @@ inline std::uint64_t bucket_high(std::size_t b) {
   return (std::uint64_t{1} << b) - 1;
 }
 
-/// Mergeable point-in-time view of a histogram.
+/// Mergeable point-in-time view of a histogram.  Also usable as a plain
+/// single-threaded accumulator (see add) — the topology walker builds its
+/// depth and occupancy distributions this way without any atomics.
 struct HistogramSnapshot {
   std::uint64_t buckets[kHistogramBuckets] = {};
   std::uint64_t count = 0;
   std::uint64_t sum = 0;
+
+  /// Single-threaded accumulation into the snapshot itself.
+  void add(std::uint64_t v) {
+    buckets[histogram_bucket(v)] += 1;
+    count += 1;
+    sum += v;
+  }
 
   double mean() const {
     return count == 0 ? 0.0
@@ -60,6 +69,32 @@ struct HistogramSnapshot {
       if (static_cast<double>(seen) >= target) return bucket_high(b);
     }
     return bucket_high(kHistogramBuckets - 1);
+  }
+
+  /// Interpolated q-quantile: finds the bucket holding the q-th ranked
+  /// sample and interpolates linearly inside its [low, high] span by the
+  /// rank's position within the bucket.  Exact to within one bucket width;
+  /// much closer than quantile_bound for the heavy middle of a
+  /// distribution, where a single power-of-two bucket holds many samples.
+  double quantile(double q) const {
+    if (count == 0) return 0.0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const double target = q * static_cast<double>(count);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (buckets[b] == 0) continue;
+      const double before = static_cast<double>(seen);
+      seen += buckets[b];
+      if (static_cast<double>(seen) >= target) {
+        const double frac =
+            (target - before) / static_cast<double>(buckets[b]);
+        const double lo = static_cast<double>(bucket_low(b));
+        const double hi = static_cast<double>(bucket_high(b));
+        return lo + frac * (hi - lo);
+      }
+    }
+    return static_cast<double>(bucket_high(kHistogramBuckets - 1));
   }
 };
 

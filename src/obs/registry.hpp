@@ -30,6 +30,9 @@ enum class GCounter : std::size_t {
   // --- treap leaf containers (src/treap/treap.cpp) ------------------------
   kTreapNodeAllocs,     // persistent treap nodes allocated (path copies)
   kTreapNodeFrees,      // persistent treap nodes destroyed
+  // --- benchmark harness (src/harness/runner.hpp) --------------------------
+  kHarnessOps,          // operations completed by harness worker threads;
+                        // the monitor derives ops/sec from its deltas
   kCount
 };
 
@@ -42,6 +45,7 @@ inline const char* gcounter_name(GCounter c) {
     case GCounter::kEbrOrphaned: return "ebr_orphaned";
     case GCounter::kTreapNodeAllocs: return "treap_node_allocs";
     case GCounter::kTreapNodeFrees: return "treap_node_frees";
+    case GCounter::kHarnessOps: return "harness_ops";
     case GCounter::kCount: break;
   }
   return "?";
@@ -70,6 +74,24 @@ inline const char* ghistogram_name(GHistogram h) {
   return "?";
 }
 
+/// Value-type copy of every registry counter and histogram, taken without
+/// disturbing the live sharded storage.  This is how periodic consumers
+/// (the background monitor) compute interval deltas: subtract two
+/// snapshots.  Never use Registry::reset() for that — see its comment.
+struct RegistryValues {
+  std::uint64_t counters[static_cast<std::size_t>(GCounter::kCount)] = {};
+  HistogramSnapshot histograms[static_cast<std::size_t>(GHistogram::kCount)];
+  /// Total adaptation events ever recorded (including overwritten ones).
+  std::uint64_t trace_recorded = 0;
+
+  std::uint64_t counter(GCounter c) const {
+    return counters[static_cast<std::size_t>(c)];
+  }
+  const HistogramSnapshot& histogram(GHistogram h) const {
+    return histograms[static_cast<std::size_t>(h)];
+  }
+};
+
 class Registry {
  public:
   static Registry& instance() {
@@ -87,8 +109,31 @@ class Registry {
 
   AdaptTrace& trace() { return trace_; }
 
+  /// Non-destructive value copy of every counter and histogram.  Safe to
+  /// call from any thread at any time; concurrent recorders make the result
+  /// slightly approximate (same contract as read()).
+  RegistryValues snapshot() const {
+    RegistryValues out;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(GCounter::kCount);
+         ++i) {
+      out.counters[i] = counters_.read(i);
+    }
+    for (std::size_t i = 0; i < static_cast<std::size_t>(GHistogram::kCount);
+         ++i) {
+      out.histograms[i] = histograms_[i].snapshot();
+    }
+    out.trace_recorded = trace_.recorded();
+    return out;
+  }
+
   /// Zeroes counters and histograms and clears the trace (for benchmarks
   /// that want per-run deltas).
+  ///
+  /// ONLY safe in quiescence: zeroing proceeds shard by shard while a
+  /// concurrent recorder keeps adding, so a racing reset can both lose
+  /// increments and produce aggregate reads that briefly go backwards.
+  /// Periodic consumers must compute deltas between two snapshot() calls
+  /// instead of resetting.
   void reset() {
     counters_.reset();
     for (auto& h : histograms_) h.reset();

@@ -1,0 +1,51 @@
+#include "obs/topology.hpp"
+
+#include <ostream>
+
+#include "obs/export.hpp"
+
+namespace cats::obs {
+
+void TopologySnapshot::append_to(Snapshot& snap,
+                                 const std::string& prefix) const {
+  snap.add_gauge(prefix + "route_nodes", static_cast<double>(route_nodes));
+  snap.add_gauge(prefix + "base_nodes", static_cast<double>(base_nodes));
+  snap.add_gauge(prefix + "normal_bases", static_cast<double>(normal_bases));
+  snap.add_gauge(prefix + "joining_bases",
+                 static_cast<double>(joining_bases));
+  snap.add_gauge(prefix + "range_bases", static_cast<double>(range_bases));
+  snap.add_gauge(prefix + "invalid_routes",
+                 static_cast<double>(invalid_routes));
+  snap.add_gauge(prefix + "marked_routes",
+                 static_cast<double>(marked_routes));
+  snap.add_gauge(prefix + "items", static_cast<double>(items));
+  snap.add_gauge(prefix + "max_depth", static_cast<double>(max_depth));
+  snap.add_gauge(prefix + "mean_occupancy", mean_occupancy());
+  snap.add_gauge(prefix + "stat_min", static_cast<double>(stat_min));
+  snap.add_gauge(prefix + "stat_max", static_cast<double>(stat_max));
+  snap.add_histogram(prefix + "base_depth", depth);
+  snap.add_histogram(prefix + "base_occupancy", occupancy);
+  snap.add_histogram(prefix + "base_stat_abs", stat_abs);
+}
+
+void write_topology_json(std::ostream& os, const TopologySnapshot& topo) {
+  os << "{\"route_nodes\":" << topo.route_nodes
+     << ",\"base_nodes\":" << topo.base_nodes
+     << ",\"normal_bases\":" << topo.normal_bases
+     << ",\"joining_bases\":" << topo.joining_bases
+     << ",\"range_bases\":" << topo.range_bases
+     << ",\"invalid_routes\":" << topo.invalid_routes
+     << ",\"marked_routes\":" << topo.marked_routes
+     << ",\"items\":" << topo.items << ",\"max_depth\":" << topo.max_depth
+     << ",\"mean_occupancy\":" << topo.mean_occupancy()
+     << ",\"stat_min\":" << topo.stat_min
+     << ",\"stat_max\":" << topo.stat_max << ",\"depth\":";
+  write_histogram_json(os, topo.depth);
+  os << ",\"occupancy\":";
+  write_histogram_json(os, topo.occupancy);
+  os << ",\"stat_abs\":";
+  write_histogram_json(os, topo.stat_abs);
+  os << '}';
+}
+
+}  // namespace cats::obs

@@ -112,6 +112,45 @@ TEST(ObsHistogram, RecordSnapshotQuantiles) {
   EXPECT_EQ(h.snapshot().count, 0u);
 }
 
+TEST(ObsHistogram, InterpolatedQuantiles) {
+  // Empty histogram: every quantile is 0.
+  obs::HistogramSnapshot empty{};
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+
+  // Point mass: a single-value bucket interpolates to the value itself.
+  obs::LogHistogram point;
+  for (int i = 0; i < 100; ++i) point.record(1);
+  EXPECT_DOUBLE_EQ(point.snapshot().quantile(0.01), 1.0);
+  EXPECT_DOUBLE_EQ(point.snapshot().quantile(0.99), 1.0);
+
+  // Two-mode distribution: 10 samples at 1, 90 in [1024, 2047].  The rank
+  // interpolation lands q inside the wide bucket at the exact fraction:
+  //   p50: rank 50, 10 below the bucket, (50-10)/90 of the way through.
+  obs::LogHistogram h;
+  for (int i = 0; i < 10; ++i) h.record(1);
+  for (int i = 0; i < 90; ++i) h.record(1024);
+  const obs::HistogramSnapshot s = h.snapshot();
+  const double lo = 1024.0, hi = 2047.0;
+  EXPECT_NEAR(s.quantile(0.5), lo + (50.0 - 10.0) / 90.0 * (hi - lo), 1e-9);
+  EXPECT_NEAR(s.quantile(0.9), lo + (90.0 - 10.0) / 90.0 * (hi - lo), 1e-9);
+  EXPECT_NEAR(s.quantile(0.99), lo + (99.0 - 10.0) / 90.0 * (hi - lo), 1e-9);
+  // Ranks entirely inside the low bucket stay there.
+  EXPECT_DOUBLE_EQ(s.quantile(0.05), 1.0);
+  // Quantiles are monotone in q and clamp out-of-range q.
+  double prev = 0.0;
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double v = s.quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(s.quantile(-1.0), s.quantile(0.0));
+  EXPECT_DOUBLE_EQ(s.quantile(2.0), s.quantile(1.0));
+  // The interpolated estimate never exceeds the conservative bound.
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_LE(s.quantile(q), static_cast<double>(s.quantile_bound(q)));
+  }
+}
+
 TEST(ObsHistogram, MergesAcrossThreads) {
   obs::LogHistogram h;
   constexpr int kThreads = 4;
@@ -285,11 +324,57 @@ TEST(ObsExport, TableAndPrometheusContainMetrics) {
   EXPECT_NE(text.find("cats_adaptation_events 1"), std::string::npos);
 }
 
+TEST(ObsExport, PrometheusEmitsInterpolatedQuantiles) {
+  obs::Snapshot snap;
+  obs::LogHistogram h;
+  for (int i = 0; i < 10; ++i) h.record(1);
+  for (int i = 0; i < 90; ++i) h.record(1024);
+  snap.add_histogram("lat", h.snapshot());
+
+  std::ostringstream prom;
+  obs::write_prometheus(prom, snap);
+  const std::string text = prom.str();
+  EXPECT_NE(text.find("# TYPE cats_lat_quantile gauge"), std::string::npos);
+  EXPECT_NE(text.find("cats_lat_quantile{q=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("cats_lat_quantile{q=\"0.9\"}"), std::string::npos);
+  EXPECT_NE(text.find("cats_lat_quantile{q=\"0.99\"}"), std::string::npos);
+}
+
 TEST(ObsExport, SnapshotCounterLookup) {
   const obs::Snapshot snap = make_test_snapshot();
   EXPECT_EQ(snap.counter("alpha"), 42u);
   EXPECT_EQ(snap.counter("absent"), 0u);
 }
+
+#if CATS_OBS_ENABLED
+// ---------------------------------------------------------------------------
+// Non-destructive registry snapshots: the monitor's delta sampling relies
+// on snapshot() leaving the counters untouched (reset() is quiescent-only).
+// ---------------------------------------------------------------------------
+
+TEST(ObsRegistry, SnapshotIsNonDestructive) {
+  obs::Registry& reg = obs::Registry::instance();
+  const obs::RegistryValues before = reg.snapshot();
+
+  obs::count(obs::GCounter::kHarnessOps, 5);
+  obs::record(obs::GHistogram::kLookupLatencyNs, 100);
+
+  const obs::RegistryValues a = reg.snapshot();
+  const obs::RegistryValues b = reg.snapshot();
+  EXPECT_EQ(a.counter(obs::GCounter::kHarnessOps),
+            before.counter(obs::GCounter::kHarnessOps) + 5);
+  // Reading twice returns the same values — nothing was consumed.
+  EXPECT_EQ(b.counter(obs::GCounter::kHarnessOps),
+            a.counter(obs::GCounter::kHarnessOps));
+  EXPECT_EQ(b.histogram(obs::GHistogram::kLookupLatencyNs).count,
+            a.histogram(obs::GHistogram::kLookupLatencyNs).count);
+
+  obs::count(obs::GCounter::kHarnessOps, 2);
+  const obs::RegistryValues c = reg.snapshot();
+  EXPECT_EQ(c.counter(obs::GCounter::kHarnessOps),
+            a.counter(obs::GCounter::kHarnessOps) + 2);
+}
+#endif  // CATS_OBS_ENABLED
 
 // ---------------------------------------------------------------------------
 // Integration with the tree: paper counters flow into snapshots, and (in

@@ -1,0 +1,196 @@
+// Tests for live topology introspection (BasicLfcaTree::collect_topology +
+// obs/topology.hpp): quiescent walks must agree exactly with the tree's own
+// counting walks, and concurrent walks must stay safe (EBR keeps every
+// visited node alive) and internally consistent while the tree splits and
+// joins underneath them.  The concurrent case is the interesting one — run
+// it under TSan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "lfca/lfca_tree.hpp"
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/topology.hpp"
+
+namespace {
+
+using namespace cats;
+
+// Invariants that hold for ANY snapshot, quiescent or racing: they follow
+// from the walk itself, not from the tree holding still.
+void check_internal_consistency(const obs::TopologySnapshot& topo) {
+  EXPECT_EQ(topo.base_nodes,
+            topo.normal_bases + topo.joining_bases + topo.range_bases);
+  EXPECT_EQ(topo.depth.count, topo.base_nodes);
+  EXPECT_EQ(topo.occupancy.count, topo.base_nodes);
+  EXPECT_EQ(topo.stat_abs.count, topo.base_nodes);
+  EXPECT_EQ(topo.occupancy.sum, topo.items);
+  EXPECT_LE(topo.invalid_routes, topo.route_nodes);
+  EXPECT_LE(topo.marked_routes, topo.route_nodes);
+  EXPECT_LE(topo.stat_min, topo.stat_max);
+  EXPECT_LT(topo.max_depth, 64u);  // a sane route tree is never this deep
+}
+
+TEST(Topology, FreshTreeIsOneBaseNode) {
+  reclaim::Domain domain;
+  {
+    lfca::LfcaTree tree(domain);
+    const obs::TopologySnapshot topo = tree.collect_topology();
+    check_internal_consistency(topo);
+    EXPECT_EQ(topo.route_nodes, 0u);
+    EXPECT_EQ(topo.base_nodes, 1u);
+    EXPECT_EQ(topo.normal_bases, 1u);
+    EXPECT_EQ(topo.items, 0u);
+    EXPECT_EQ(topo.max_depth, 0u);
+    EXPECT_DOUBLE_EQ(topo.mean_occupancy(), 0.0);
+  }
+  domain.drain();
+}
+
+TEST(Topology, QuiescentWalkMatchesTreeCounts) {
+  reclaim::Domain domain;
+  {
+    lfca::LfcaTree tree(domain);
+    for (Key k = 1; k <= 1000; ++k) tree.insert(k, k);
+    for (Key hint : {128, 384, 640, 896}) {
+      ASSERT_TRUE(tree.force_split(hint));
+    }
+
+    const obs::TopologySnapshot topo = tree.collect_topology();
+    check_internal_consistency(topo);
+    EXPECT_EQ(topo.route_nodes, tree.route_node_count());
+    EXPECT_EQ(topo.items, tree.size());
+    // A quiescent route tree is a full binary tree over the leaves.
+    EXPECT_EQ(topo.base_nodes, topo.route_nodes + 1);
+    EXPECT_EQ(topo.normal_bases, topo.base_nodes);
+    EXPECT_EQ(topo.joining_bases, 0u);
+    EXPECT_EQ(topo.range_bases, 0u);
+    EXPECT_EQ(topo.invalid_routes, 0u);
+    EXPECT_EQ(topo.marked_routes, 0u);
+    EXPECT_GE(topo.base_nodes, 5u);  // 4 splits of distinct leaves
+    EXPECT_GE(topo.max_depth, 1u);
+    EXPECT_NEAR(topo.mean_occupancy(),
+                1000.0 / static_cast<double>(topo.base_nodes), 1e-9);
+
+    // Joins shrink the census back down, and the walk tracks it.
+    ASSERT_TRUE(tree.force_join(128));
+    const obs::TopologySnapshot after = tree.collect_topology();
+    check_internal_consistency(after);
+    EXPECT_EQ(after.base_nodes, topo.base_nodes - 1);
+    EXPECT_EQ(after.route_nodes, topo.route_nodes - 1);
+    EXPECT_EQ(after.items, 1000u);
+  }
+  domain.drain();
+}
+
+TEST(Topology, ExportsThroughSnapshotAndJson) {
+  reclaim::Domain domain;
+  {
+    lfca::LfcaTree tree(domain);
+    for (Key k = 1; k <= 256; ++k) tree.insert(k, k);
+    ASSERT_TRUE(tree.force_split(128));
+    const obs::TopologySnapshot topo = tree.collect_topology();
+
+    obs::Snapshot snap;
+    topo.append_to(snap, "topo_");
+    bool saw_base_nodes = false, saw_mean = false;
+    for (const auto& [name, value] : snap.gauges) {
+      if (name == "topo_base_nodes") {
+        saw_base_nodes = true;
+        EXPECT_DOUBLE_EQ(value, static_cast<double>(topo.base_nodes));
+      }
+      if (name == "topo_mean_occupancy") {
+        saw_mean = true;
+        EXPECT_DOUBLE_EQ(value, topo.mean_occupancy());
+      }
+    }
+    EXPECT_TRUE(saw_base_nodes);
+    EXPECT_TRUE(saw_mean);
+
+    std::ostringstream os;
+    obs::write_topology_json(os, topo);
+    const obs::json::Value doc = obs::json::parse(os.str());
+    EXPECT_EQ(doc.at("base_nodes").as_uint(), topo.base_nodes);
+    EXPECT_EQ(doc.at("route_nodes").as_uint(), topo.route_nodes);
+    EXPECT_EQ(doc.at("items").as_uint(), 256u);
+    EXPECT_EQ(doc.at("occupancy").at("count").as_uint(), topo.base_nodes);
+  }
+  domain.drain();
+}
+
+// The stress case: walkers loop collect_topology() while writers insert,
+// remove and force adaptations with hair-trigger thresholds.  EBR must keep
+// every visited node alive (TSan/ASan validate that) and each snapshot must
+// stay internally consistent; the node census may be off by the adaptations
+// racing the walk, so the bounds are deliberately loose.
+TEST(Topology, ConcurrentWalkersDuringAdaptations) {
+  lfca::Config config;
+  config.high_cont = 0;  // split on any contention event
+  config.low_cont = -100;
+  reclaim::Domain domain;
+  {
+    lfca::LfcaTree tree(domain, config);
+    constexpr Key kRange = 1 << 12;
+    for (Key k = 1; k < kRange; k += 2) tree.insert(k, k);
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t] {
+        Xoshiro256 rng(t + 101);
+        while (!stop.load(std::memory_order_relaxed)) {
+          const Key k = rng.next_in(1, kRange - 1);
+          const std::uint64_t dice = rng.next_below(100);
+          if (dice < 40) {
+            tree.insert(k, k);
+          } else if (dice < 80) {
+            tree.remove(k);
+          } else if (dice < 90) {
+            tree.force_split(k);
+          } else {
+            tree.force_join(k);
+          }
+        }
+      });
+    }
+
+    std::atomic<std::uint64_t> walks{0};
+    std::vector<std::thread> walkers;
+    for (int t = 0; t < 2; ++t) {
+      walkers.emplace_back([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+          const obs::TopologySnapshot topo = tree.collect_topology();
+          check_internal_consistency(topo);
+          EXPECT_GE(topo.base_nodes, 1u);
+          // items can overshoot the key range on a racing walk: a join in
+          // flight shows the merged container in the join-main node while
+          // the neighbor still holds its pre-join copy, so the same items
+          // count twice.  Only a garbage-detection bound is sound here.
+          EXPECT_LE(topo.items, kRange * 64);
+          walks.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    stop.store(true);
+    for (auto& t : threads) t.join();
+    for (auto& t : walkers) t.join();
+    EXPECT_GT(walks.load(), 0u);
+
+    // Quiescent again: the walk agrees exactly with the counting walks.
+    const obs::TopologySnapshot final_topo = tree.collect_topology();
+    check_internal_consistency(final_topo);
+    EXPECT_EQ(final_topo.route_nodes, tree.route_node_count());
+    EXPECT_EQ(final_topo.items, tree.size());
+    EXPECT_EQ(final_topo.base_nodes, final_topo.route_nodes + 1);
+  }
+  domain.drain();
+}
+
+}  // namespace
