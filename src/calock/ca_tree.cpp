@@ -40,7 +40,10 @@ void node_deleter(void* p) { delete static_cast<Node*>(p); }
 
 void release_container(reclaim::Domain& domain, const treap::Node* root) {
   if (root == nullptr) return;
-  domain.retire(
+  // Shared retire: after a split both halves can reuse subtrees of the old
+  // root (and a join can hand an unchanged root onward), so the same
+  // address may legitimately be pending retirement from several owners.
+  domain.retire_shared(
       const_cast<treap::Node*>(root), +[](void* p) {
         treap::detail::decref(static_cast<const treap::Node*>(p));
       });

@@ -1,0 +1,214 @@
+#include "check/check.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+
+namespace cats::check {
+
+void fail(const char* file, int line, const char* fmt, ...) {
+  std::fprintf(stderr, "CATS_CHECKED failure at %s:%d: ", file, line);
+  std::va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+void Report::add(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  addv(fmt, args);
+  va_end(args);
+}
+
+void Report::addv(const char* fmt, std::va_list args) {
+  char buffer[1024];
+  std::vsnprintf(buffer, sizeof buffer, fmt, args);
+  failures_.emplace_back(buffer);
+}
+
+std::string Report::text() const {
+  std::string out;
+  for (const std::string& failure : failures_) {
+    if (!out.empty()) out += '\n';
+    out += failure;
+  }
+  return out;
+}
+
+#if CATS_CHECKED_ENABLED
+
+const char* canary_name(std::uint64_t value) {
+  switch (canary_state(value)) {
+    case CanaryState::kAlive:
+      return "alive";
+    case CanaryState::kRetired:
+      return "retired";
+    case CanaryState::kDead:
+      return value == kPoisonWord ? "freed (poison)" : "corrupt";
+  }
+  return "corrupt";
+}
+
+void canary_mark_retired(Canary& canary, const char* what) {
+  const std::uint64_t old =
+      canary.exchange(kCanaryRetired, std::memory_order_relaxed);
+  if (old == kCanaryAlive) return;
+  if (old == kCanaryRetired) {
+    fail(__FILE__, __LINE__, "double retire of %s (canary already retired)",
+         what);
+  }
+  fail(__FILE__, __LINE__,
+       "retire of %s whose canary is %s (0x%016llx) — use-after-free or "
+       "memory corruption",
+       what, canary_name(old), static_cast<unsigned long long>(old));
+}
+
+void canary_expect_alive(const Canary& canary, const char* what) {
+  const std::uint64_t value = canary.load(std::memory_order_relaxed);
+  if (value == kCanaryAlive) return;
+  fail(__FILE__, __LINE__,
+       "%s touched while its canary is %s (0x%016llx) — use-after-retire or "
+       "memory corruption",
+       what, canary_name(value), static_cast<unsigned long long>(value));
+}
+
+void canary_expect_not_dead(const Canary& canary, const char* what) {
+  const std::uint64_t value = canary.load(std::memory_order_relaxed);
+  if (value == kCanaryAlive || value == kCanaryRetired) return;
+  fail(__FILE__, __LINE__,
+       "%s freed while its canary is %s (0x%016llx) — double free or memory "
+       "corruption",
+       what, canary_name(value), static_cast<unsigned long long>(value));
+}
+
+void poison(void* ptr, std::size_t size) {
+  std::memset(ptr, kPoisonByte, size);
+}
+
+// ---------------------------------------------------------------------------
+// Retired-pointer registry.
+//
+// A mutex-guarded hash map is plenty: the registry exists only in checked
+// builds, where diagnostic determinism beats throughput.  The singleton is
+// leaked so the at-exit census (and any retirement running during static
+// destruction) can never touch a destroyed map.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct RetiredRegistry {
+  struct Entry {
+    std::string site;      // first retirement call site ("file:line")
+    std::size_t count;     // pending retirements of this address
+    bool shared;           // refcounted: aliases may be retired concurrently
+  };
+
+  std::mutex mutex;
+  std::unordered_map<void*, Entry> entries;
+
+  static RetiredRegistry& instance() {
+    static RetiredRegistry* const registry = [] {
+      auto* r = new RetiredRegistry();  // leaked on purpose
+      std::atexit(&RetiredRegistry::report_census);
+      return r;
+    }();
+    return *registry;
+  }
+
+  /// At-exit leak census.  Pending retirements of the intentionally-leaked
+  /// global EBR domain are expected here; the census reports, it does not
+  /// fail — tests assert emptiness on drained local domains instead.
+  static void report_census() {
+    const std::vector<CensusEntry> entries = census();
+    if (entries.empty()) return;
+    std::size_t total = 0;
+    for (const CensusEntry& entry : entries) total += entry.count;
+    std::fprintf(stderr,
+                 "CATS_CHECKED leak census: %zu retirement(s) never "
+                 "reclaimed (pending in a reclamation domain at exit):\n",
+                 total);
+    for (const CensusEntry& entry : entries) {
+      std::fprintf(stderr, "  %6zu  retired at %s\n", entry.count,
+                   entry.site.c_str());
+    }
+    std::fflush(stderr);
+  }
+};
+
+}  // namespace
+
+void on_retire(void* ptr, const char* site) {
+  RetiredRegistry& registry = RetiredRegistry::instance();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto [it, inserted] =
+      registry.entries.emplace(ptr, RetiredRegistry::Entry{site, 1, false});
+  if (!inserted) {
+    fail(__FILE__, __LINE__,
+         "double retire of %p: first retired at %s, retired again at %s",
+         ptr, it->second.site.c_str(), site);
+  }
+}
+
+void on_retire_shared(void* ptr, const char* site) {
+  RetiredRegistry& registry = RetiredRegistry::instance();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto [it, inserted] =
+      registry.entries.emplace(ptr, RetiredRegistry::Entry{site, 1, true});
+  if (!inserted) {
+    if (!it->second.shared) {
+      fail(__FILE__, __LINE__,
+           "shared retire of %p aliases an exclusive retirement: first "
+           "retired at %s, retired again at %s",
+           ptr, it->second.site.c_str(), site);
+    }
+    ++it->second.count;
+  }
+}
+
+void on_reclaim(void* ptr) {
+  RetiredRegistry& registry = RetiredRegistry::instance();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.entries.find(ptr);
+  if (it == registry.entries.end()) {
+    fail(__FILE__, __LINE__,
+         "reclaiming %p that was never retired (or already reclaimed)", ptr);
+  }
+  if (--it->second.count == 0) registry.entries.erase(it);
+}
+
+std::vector<CensusEntry> census() {
+  RetiredRegistry& registry = RetiredRegistry::instance();
+  std::unordered_map<std::string, std::size_t> by_site;
+  {
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    for (const auto& [ptr, entry] : registry.entries) {
+      by_site[entry.site] += entry.count;
+    }
+  }
+  std::vector<CensusEntry> out;
+  out.reserve(by_site.size());
+  for (auto& [site, count] : by_site) out.push_back({site, count});
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.count != b.count ? a.count > b.count : a.site < b.site;
+  });
+  return out;
+}
+
+std::size_t registered_retirements() {
+  RetiredRegistry& registry = RetiredRegistry::instance();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::size_t total = 0;
+  for (const auto& [ptr, entry] : registry.entries) total += entry.count;
+  return total;
+}
+
+#endif  // CATS_CHECKED_ENABLED
+
+}  // namespace cats::check

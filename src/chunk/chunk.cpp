@@ -15,16 +15,27 @@ std::atomic<std::size_t> g_live_nodes{0};
 struct Node {
   mutable std::atomic<std::uint64_t> rc;
   std::uint32_t count;
+#if CATS_CHECKED_ENABLED
+  /// Canary header; see check/check.hpp.  Like `rc`, initialized by a plain
+  /// store in allocate() — the node is raw storage, never constructed.
+  check::Canary check_canary;
+#endif
   Item items[];  // flexible array member (GNU extension, exact allocation)
 };
 
 namespace {
 
+std::size_t allocation_bytes(std::uint32_t count) {
+  return sizeof(Node) + count * sizeof(Item);
+}
+
 Node* allocate(std::uint32_t count) {
-  void* memory = ::operator new(sizeof(Node) + count * sizeof(Item));
+  void* memory = ::operator new(allocation_bytes(count));
   Node* node = static_cast<Node*>(memory);
   node->rc.store(1, std::memory_order_relaxed);
   node->count = count;
+  CATS_CHECKED_ONLY(
+      node->check_canary.store(check::kCanaryAlive, std::memory_order_relaxed));
   g_live_nodes.fetch_add(1, std::memory_order_relaxed);
   return node;
 }
@@ -40,12 +51,23 @@ const Item* lower_bound(const Node* node, Key key) {
 namespace detail {
 
 void incref(const Node* node) noexcept {
+  CATS_CHECKED_ONLY(
+      check::canary_expect_alive(node->check_canary, "chunk node (incref)"));
   node->rc.fetch_add(1, std::memory_order_relaxed);
 }
 
 void decref(const Node* node) noexcept {
-  if (node->rc.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+  CATS_CHECKED_ONLY(
+      check::canary_expect_alive(node->check_canary, "chunk node (decref)"));
+  const std::uint64_t prev = node->rc.fetch_sub(1, std::memory_order_acq_rel);
+  CATS_CHECK(prev != 0, "chunk node %p: refcount underflow",
+             static_cast<const void*>(node));
+  if (prev == 1) {
     g_live_nodes.fetch_sub(1, std::memory_order_relaxed);
+#if CATS_CHECKED_ENABLED
+    // Poison-on-free: compute the size before the poison overwrites `count`.
+    check::poison(const_cast<Node*>(node), allocation_bytes(node->count));
+#endif
     ::operator delete(const_cast<Node*>(node));
   }
 }
@@ -157,15 +179,50 @@ void split_evenly(const Node* chunk, Ref* left_out, Ref* right_out,
   *split_key_out = right->items[0].key;
 }
 
-bool check_invariants(const Node* chunk) {
+bool validate(const Node* chunk, check::Report* report) {
   if (chunk == nullptr) return true;
-  if (chunk->count == 0) return false;  // empty is represented as null
-  if (chunk->rc.load(std::memory_order_relaxed) == 0) return false;
-  for (std::uint32_t i = 1; i < chunk->count; ++i) {
-    if (chunk->items[i - 1].key >= chunk->items[i].key) return false;
+  const void* p = chunk;
+#if CATS_CHECKED_ENABLED
+  const std::uint64_t canary =
+      chunk->check_canary.load(std::memory_order_relaxed);
+  if (check::canary_state(canary) != check::CanaryState::kAlive) {
+    if (report != nullptr) {
+      report->add("chunk node %p: canary is %s (0x%016llx), not alive", p,
+                  check::canary_name(canary),
+                  static_cast<unsigned long long>(canary));
+    }
+    return false;  // remaining fields are as untrustworthy as the canary
   }
-  return true;
+#endif
+  bool ok = true;
+  if (chunk->count == 0) {  // empty is represented as null
+    if (report != nullptr) {
+      report->add("chunk node %p: count is 0 (empty must be null)", p);
+    }
+    ok = false;
+  }
+  if (chunk->rc.load(std::memory_order_relaxed) == 0) {
+    if (report != nullptr) {
+      report->add("chunk node %p: refcount is 0 but node is reachable", p);
+    }
+    ok = false;
+  }
+  for (std::uint32_t i = 1; i < chunk->count; ++i) {
+    if (chunk->items[i - 1].key >= chunk->items[i].key) {
+      if (report != nullptr) {
+        report->add(
+            "chunk node %p: items[%u].key %lld >= items[%u].key %lld "
+            "(not strictly ascending)",
+            p, i - 1, static_cast<long long>(chunk->items[i - 1].key), i,
+            static_cast<long long>(chunk->items[i].key));
+      }
+      ok = false;
+    }
+  }
+  return ok;
 }
+
+bool check_invariants(const Node* chunk) { return validate(chunk, nullptr); }
 
 std::size_t live_nodes() {
   return g_live_nodes.load(std::memory_order_relaxed);

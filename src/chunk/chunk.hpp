@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "check/check.hpp"
 #include "common/function_ref.hpp"
 #include "common/types.hpp"
 
@@ -83,6 +84,10 @@ void split_evenly(const Node* chunk, Ref* left_out, Ref* right_out,
 
 /// Structural checks for tests (sorted, unique, cached bounds).
 bool check_invariants(const Node* chunk);
+/// Same checks with one diagnostic line per violated invariant appended to
+/// `report` (CATS_CHECKED builds additionally verify the node canary).
+/// Returns true if everything holds.
+bool validate(const Node* chunk, check::Report* report);
 std::size_t live_nodes();
 
 }  // namespace cats::chunk

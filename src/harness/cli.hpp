@@ -4,6 +4,7 @@
 // the full-scale parameters.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -11,9 +12,16 @@
 #include <string>
 #include <vector>
 
+#include "check/check.hpp"
 #include "common/types.hpp"
 
 namespace cats::harness {
+
+/// Process-wide period of the in-workload tree validator (0 = disabled).
+/// Set by Options::parse from --check-every-n-ops; read by run_mix workers.
+/// Only effective in CATS_CHECKED builds — the validator is compiled out
+/// otherwise.
+inline std::atomic<std::uint64_t> g_check_every_n_ops{0};
 
 struct Options {
   /// Seconds measured per data point.
@@ -46,6 +54,10 @@ struct Options {
   /// Where the monitor's rate time-series (CSV) is written; empty =
   /// nowhere.  Needs --monitor-interval-ms > 0 to have any rows.
   std::string series_out;
+  /// Run the concurrent-mode tree validator every N operations per worker
+  /// thread (CATS_CHECKED builds; 0 = never).  A failed validation aborts
+  /// with the diagnostic report.
+  std::uint64_t check_every_n_ops = 0;
 
   static Options parse(int argc, char** argv) {
     Options opt;
@@ -94,6 +106,15 @@ struct Options {
         opt.metrics_out = v;
       } else if (const char* v = value("--series-out=")) {
         opt.series_out = v;
+      } else if (const char* v = value("--check-every-n-ops=")) {
+        opt.check_every_n_ops = std::strtoull(v, nullptr, 10);
+        g_check_every_n_ops.store(opt.check_every_n_ops,
+                                  std::memory_order_relaxed);
+        if (!check::kCheckedEnabled && opt.check_every_n_ops != 0) {
+          std::fprintf(stderr,
+                       "--check-every-n-ops: requested but compiled out "
+                       "(CATS_CHECKED=OFF)\n");
+        }
       } else if (arg == "--paper") {
         // The paper's configuration (§7): S = 10^6, 10 s runs, 3 runs
         // averaged, thread counts up to 128.
@@ -106,7 +127,8 @@ struct Options {
             "options: --duration=SEC --runs=N --size=S --threads=a,b,c "
             "--csv --only=NAME --paper --sensitive --high-cont=X "
             "--low-cont=X --cont-contrib=X --monitor-interval-ms=MS "
-            "--monitor-port=P --metrics-out=FILE --series-out=FILE\n");
+            "--monitor-port=P --metrics-out=FILE --series-out=FILE "
+            "--check-every-n-ops=N\n");
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown option: %s\n", arg.c_str());

@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <concepts>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -84,6 +85,12 @@ RunResult run_mix(S& structure, const std::vector<ThreadGroup>& groups,
         const Mix mix = groups[g].mix;
         Xoshiro256 rng(seed * 7919 + thread_index);
         auto& my = counters[thread_index];
+#if CATS_CHECKED_ENABLED
+        // --check-every-n-ops: run the concurrent-mode validator inside the
+        // workload.  The period is fixed before the threads start.
+        const std::uint64_t check_period =
+            g_check_every_n_ops.load(std::memory_order_relaxed);
+#endif
         barrier.arrive_and_wait();
         while (!stop.load(std::memory_order_relaxed)) {
           const std::uint64_t dice = rng.next_below(1000);
@@ -146,6 +153,21 @@ RunResult run_mix(S& structure, const std::vector<ThreadGroup>& groups,
           // ops/sec; one relaxed sharded add, same cost class as the other
           // per-op hooks (bench_obs measures the total within noise).
           CATS_OBS_ONLY(obs::count(obs::GCounter::kHarnessOps));
+#if CATS_CHECKED_ENABLED
+          if (check_period != 0 && my.ops % check_period == 0) {
+            if constexpr (requires(const S& s, std::string* d) {
+                            { s.validate(d, false) } -> std::same_as<bool>;
+                          }) {
+              std::string why;
+              if (!structure.validate(&why, /*expect_quiescent=*/false)) {
+                check::fail(__FILE__, __LINE__,
+                            "--check-every-n-ops: concurrent tree validation "
+                            "failed:\n%s",
+                            why.c_str());
+              }
+            }
+          }
+#endif
         }
       });
     }

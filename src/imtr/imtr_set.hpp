@@ -103,7 +103,10 @@ class ImTreeSet {
                                       std::memory_order_acq_rel)) {
       next.release();  // ownership moved into root_
       if (expected != nullptr) {
-        domain_.retire(
+        // Shared retire: the deleter is a decref, and path-copying updates
+        // can briefly leave the displaced root reachable as a subtree of a
+        // later version that is itself retired.
+        domain_.retire_shared(
             const_cast<treap::Node*>(expected), +[](void* p) {
               treap::detail::decref(static_cast<const treap::Node*>(p));
             });

@@ -48,8 +48,15 @@ struct TreapContainer {
   static bool less_than_two_items(const Node* t) {
     return treap::less_than_two_items(t);
   }
+  static Key min_key(const Node* t) { return treap::min_key(t); }
   static Key max_key(const Node* t) { return treap::max_key(t); }
   static std::size_t size(const Node* t) { return treap::size(t); }
+  static bool check_invariants(const Node* t) {
+    return treap::check_invariants(t);
+  }
+  static bool validate(const Node* t, check::Report* report) {
+    return treap::validate(t, report);
+  }
 };
 
 struct ChunkContainer {
@@ -79,8 +86,15 @@ struct ChunkContainer {
   static bool less_than_two_items(const Node* t) {
     return chunk::less_than_two_items(t);
   }
+  static Key min_key(const Node* t) { return chunk::min_key(t); }
   static Key max_key(const Node* t) { return chunk::max_key(t); }
   static std::size_t size(const Node* t) { return chunk::size(t); }
+  static bool check_invariants(const Node* t) {
+    return chunk::check_invariants(t);
+  }
+  static bool validate(const Node* t, check::Report* report) {
+    return chunk::validate(t, report);
+  }
 };
 
 }  // namespace cats::lfca

@@ -28,6 +28,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "common/function_ref.hpp"
@@ -91,6 +92,17 @@ class BasicLfcaTree {
   /// ranges, container invariants are the policy's own concern).  Intended
   /// for tests, in quiescence.
   bool check_integrity() const;
+
+  /// Deep validator (CATS_CHECKED builds): walks every reachable node under
+  /// one EBR guard and checks route-key BST order, base-node containment,
+  /// join-protocol reachability rules, container invariants and node
+  /// canaries (check/tree_check.hpp).  With `expect_quiescent` false, only
+  /// the subset of invariants that hold mid-operation is enforced — safe to
+  /// call concurrently with updates (used by --check-every-n-ops).  Appends
+  /// one line per violated invariant to `diagnostics` when non-null.
+  /// Always returns true when the CATS_CHECKED gate is off.
+  bool validate(std::string* diagnostics = nullptr,
+                bool expect_quiescent = true) const;
 
   /// Maintenance/testing extension (not in the paper): forces a
   /// high-contention adaptation of the base node covering `hint`,
@@ -158,7 +170,8 @@ class BasicLfcaTree {
     counters_.add(c, n);
   }
   /// Diagnostic counters: compiled to nothing when CATS_OBS is off.
-  void count_obs(TreeCounter c, std::uint64_t n = 1) const {
+  void count_obs([[maybe_unused]] TreeCounter c,
+                 [[maybe_unused]] std::uint64_t n = 1) const {
     CATS_OBS_ONLY(counters_.add(c, n));
   }
 

@@ -27,6 +27,7 @@
 
 #include <cassert>
 
+#include "check/tree_check.hpp"
 #include "common/rng.hpp"
 #include "lfca/lfca_tree.hpp"
 #include "obs/registry.hpp"
@@ -116,6 +117,9 @@ BasicLfcaTree<C>::~BasicLfcaTree() {
 // gone too — see release_join_main in node.hpp.
 template <class C>
 void BasicLfcaTree<C>::retire(Node* n) {
+  // Canary Alive -> Retired before the domain takes over: a second retire of
+  // the same node (the bug class the canary exists for) fails immediately.
+  CATS_CHECKED_ONLY(check::canary_mark_retired(n->check_canary, "lfca node"));
   if (n->type == NodeType::kJoinMain) {
     domain_.retire(n, &detail::join_main_unlink_deleter<C>);
   } else {
@@ -324,7 +328,7 @@ bool BasicLfcaTree<C>::high_contention_adaptation(Node* b) {
     count_obs(TreeCounter::kSplitRefusedSmall);
     return false;
   }
-  const int stat = b->stat.load(std::memory_order_relaxed);
+  [[maybe_unused]] const int stat = b->stat.load(std::memory_order_relaxed);
   typename C::Ref left_data;
   typename C::Ref right_data;
   Key split_key = 0;
@@ -364,8 +368,8 @@ template <class C>
 bool BasicLfcaTree<C>::low_contention_adaptation(Node* b) {
   if (b->parent == nullptr) return false;
   count_obs(TreeCounter::kJoinAttempts);
-  const int stat = b->stat.load(std::memory_order_relaxed);
-  const Key probe = b->parent->key;
+  [[maybe_unused]] const int stat = b->stat.load(std::memory_order_relaxed);
+  [[maybe_unused]] const Key probe = b->parent->key;
   Node* m = nullptr;
   if (b->parent->left.load(std::memory_order_acquire) == b) {
     m = secure_join(b, /*left_child=*/true);
@@ -904,6 +908,26 @@ bool BasicLfcaTree<C>::check_integrity() const {
   constexpr __int128 lo = static_cast<__int128>(kKeyMin) - 1;
   constexpr __int128 hi = static_cast<__int128>(kKeyMax) + 1;
   return detail::check_rec<C>(root_.load(std::memory_order_acquire), lo, hi);
+}
+
+template <class C>
+bool BasicLfcaTree<C>::validate(std::string* diagnostics,
+                                bool expect_quiescent) const {
+#if CATS_CHECKED_ENABLED
+  reclaim::Domain::Guard guard(domain_);
+  check::Report report;
+  const bool ok = check::validate_tree<C>(
+      root_.load(std::memory_order_acquire),
+      expect_quiescent ? check::TreeValidateMode::kQuiescent
+                       : check::TreeValidateMode::kConcurrent,
+      &report);
+  if (diagnostics != nullptr) *diagnostics = report.text();
+  return ok;
+#else
+  (void)expect_quiescent;
+  if (diagnostics != nullptr) diagnostics->clear();
+  return true;
+#endif
 }
 
 template <class C>

@@ -17,8 +17,11 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <new>
 
+#include "check/check.hpp"
 #include "common/types.hpp"
 
 namespace cats::lfca::detail {
@@ -113,10 +116,30 @@ struct Node {
   Key hi = 0;
   ResultStorage<C>* storage = nullptr;
 
+#if CATS_CHECKED_ENABLED
+  /// Canary header (check/check.hpp): Alive while the node may be
+  /// reachable, Retired once handed to the reclamation domain, poison after
+  /// the storage is freed.  Written by at most one thread per transition;
+  /// validators read it relaxed.
+  check::Canary check_canary{check::kCanaryAlive};
+
+  /// Poison-on-free: runs after the destructor, while the storage is still
+  /// owned, so a dangling reader races against poison instead of against
+  /// allocator reuse.  Safe under EBR quiescence — the node is only freed
+  /// two epochs after its unlink, when no guard that could have observed it
+  /// remains (direct deletes of never-published nodes are trivially safe).
+  static void operator delete(void* p, std::size_t size) {
+    check::poison(p, size);
+    ::operator delete(p);
+  }
+#endif
+
   explicit Node(NodeType t) : type(t) {}
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
   ~Node() {
+    CATS_CHECKED_ONLY(
+        check::canary_expect_not_dead(check_canary, "lfca node"));
     if (data != nullptr) C::decref(data);
     if (type == NodeType::kRange && storage != nullptr) storage->release();
     if (type == NodeType::kJoinNeighbor && main_node != nullptr) {
@@ -155,7 +178,11 @@ void node_deleter(void* ptr) {
 /// direct in-guard holders of the unlinked node get their grace period.
 template <class C>
 void release_join_main(Node<C>* m) {
-  if (m->main_refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+  const std::uint32_t prev =
+      m->main_refs.fetch_sub(1, std::memory_order_acq_rel);
+  CATS_CHECK(prev != 0, "join_main %p: main_refs underflow",
+             static_cast<void*>(m));
+  if (prev == 1) {
     delete m;
   }
 }

@@ -67,7 +67,10 @@ Domain::~Domain() {
   }
   // No concurrent users remain: everything pending is safe to free.
   std::lock_guard<std::mutex> lock(orphan_mutex_);
-  for (const Retired& r : orphans_) r.deleter(r.ptr);
+  for (const Retired& r : orphans_) {
+    CATS_CHECKED_ONLY(check::on_reclaim(r.ptr));
+    r.deleter(r.ptr);
+  }
   pending_.fetch_sub(orphans_.size(), std::memory_order_relaxed);
   orphans_.clear();
 }
@@ -148,7 +151,29 @@ void Domain::exit() {
   }
 }
 
+#if CATS_CHECKED_ENABLED
+void Domain::retire(void* ptr, void (*deleter)(void*),
+                    std::source_location site) {
+  char site_buf[512];
+  std::snprintf(site_buf, sizeof site_buf, "%s:%u", site.file_name(),
+                static_cast<unsigned>(site.line()));
+  check::on_retire(ptr, site_buf);
+  enqueue_retirement(ptr, deleter);
+}
+
+void Domain::retire_shared(void* ptr, void (*deleter)(void*),
+                           std::source_location site) {
+  char site_buf[512];
+  std::snprintf(site_buf, sizeof site_buf, "%s:%u", site.file_name(),
+                static_cast<unsigned>(site.line()));
+  check::on_retire_shared(ptr, site_buf);
+  enqueue_retirement(ptr, deleter);
+}
+
+void Domain::enqueue_retirement(void* ptr, void (*deleter)(void*)) {
+#else
 void Domain::retire(void* ptr, void (*deleter)(void*)) {
+#endif
   ThreadCtx& ctx = context();
   const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
   ctx.retired.push_back({ptr, deleter, e});
@@ -191,7 +216,10 @@ void Domain::free_eligible(std::vector<Retired>& list, std::uint64_t global) {
     }
   }
   list.resize(kept);
-  for (const Retired& r : eligible) r.deleter(r.ptr);
+  for (const Retired& r : eligible) {
+    CATS_CHECKED_ONLY(check::on_reclaim(r.ptr));
+    r.deleter(r.ptr);
+  }
   if (!eligible.empty()) {
     pending_.fetch_sub(eligible.size(), std::memory_order_relaxed);
     CATS_OBS_ONLY(obs::count(obs::GCounter::kEbrFreed, eligible.size()));

@@ -33,7 +33,12 @@
 #include <mutex>
 #include <vector>
 
+#include "check/check.hpp"
 #include "common/padded.hpp"
+
+#if CATS_CHECKED_ENABLED
+#include <source_location>
+#endif
 
 namespace cats::reclaim {
 
@@ -63,14 +68,46 @@ class Domain {
 
   /// Defers `deleter(ptr)` until no guard that could observe `ptr` remains.
   /// Must be called after `ptr` has been unlinked from the shared structure.
+  /// In CATS_CHECKED builds the call site is recorded so double retires and
+  /// the at-exit leak census can name the offending line.
+#if CATS_CHECKED_ENABLED
+  void retire(void* ptr, void (*deleter)(void*),
+              std::source_location site = std::source_location::current());
+#else
   void retire(void* ptr, void (*deleter)(void*));
+#endif
+
+  /// Like `retire`, but for one *reference* to a refcounted object (the
+  /// deleter is a decref).  Several owners may hold references to the same
+  /// address — e.g. container roots shared across base nodes after a
+  /// split/join — so in checked builds the reclamation checker counts
+  /// pending retirements of the address instead of flagging a double
+  /// retire.  Use plain `retire` for exclusively-owned nodes.
+#if CATS_CHECKED_ENABLED
+  void retire_shared(
+      void* ptr, void (*deleter)(void*),
+      std::source_location site = std::source_location::current());
+#else
+  void retire_shared(void* ptr, void (*deleter)(void*)) {
+    retire(ptr, deleter);
+  }
+#endif
 
   /// Typed convenience overload: defers `delete ptr`.
+#if CATS_CHECKED_ENABLED
+  template <class T>
+  void retire(T* ptr,
+              std::source_location site = std::source_location::current()) {
+    retire(static_cast<void*>(ptr),
+           [](void* p) { delete static_cast<T*>(p); }, site);
+  }
+#else
   template <class T>
   void retire(T* ptr) {
     retire(static_cast<void*>(ptr),
            [](void* p) { delete static_cast<T*>(p); });
   }
+#endif
 
   /// Test/shutdown helper: repeatedly advances the epoch and frees
   /// everything pending.  Precondition: no thread holds a guard.
@@ -114,6 +151,10 @@ class Domain {
 
   void enter();
   void exit();
+#if CATS_CHECKED_ENABLED
+  /// Shared tail of retire/retire_shared once the registry is updated.
+  void enqueue_retirement(void* ptr, void (*deleter)(void*));
+#endif
   ThreadCtx& context();
   ThreadCtx* register_thread();
   void unregister(ThreadCtx* ctx);

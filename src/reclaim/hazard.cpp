@@ -49,7 +49,10 @@ HazardDomain::~HazardDomain() {
       entry.domain = nullptr;
     }
   }
-  for (const Retired& r : orphans_) r.deleter(r.ptr);
+  for (const Retired& r : orphans_) {
+    CATS_CHECKED_ONLY(check::on_reclaim(r.ptr));
+    r.deleter(r.ptr);
+  }
   pending_.fetch_sub(orphans_.size(), std::memory_order_relaxed);
 }
 
@@ -93,7 +96,18 @@ void HazardDomain::clear(std::size_t index) {
   --ctx.slots_in_use;
 }
 
+#if CATS_CHECKED_ENABLED
+void HazardDomain::retire(void* ptr, void (*deleter)(void*),
+                          std::source_location site) {
+  {
+    char site_buf[512];
+    std::snprintf(site_buf, sizeof site_buf, "%s:%u", site.file_name(),
+                  static_cast<unsigned>(site.line()));
+    check::on_retire(ptr, site_buf);
+  }
+#else
 void HazardDomain::retire(void* ptr, void (*deleter)(void*)) {
+#endif
   ThreadCtx& ctx = context();
   ctx.retired.push_back({ptr, deleter});
   pending_.fetch_add(1, std::memory_order_relaxed);
@@ -116,6 +130,7 @@ void HazardDomain::scan(ThreadCtx& ctx) {
                            r.ptr)) {
       ctx.retired[kept++] = r;
     } else {
+      CATS_CHECKED_ONLY(check::on_reclaim(r.ptr));
       r.deleter(r.ptr);
       ++freed;
     }

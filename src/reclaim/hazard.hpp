@@ -15,7 +15,12 @@
 #include <mutex>
 #include <vector>
 
+#include "check/check.hpp"
 #include "common/padded.hpp"
+
+#if CATS_CHECKED_ENABLED
+#include <source_location>
+#endif
 
 namespace cats::reclaim {
 
@@ -75,7 +80,21 @@ class HazardDomain {
   /// Acquires a free hazard slot for the calling thread.
   Holder make_holder();
 
-  /// Defers `deleter(ptr)` until no hazard slot publishes `ptr`.
+  /// Defers `deleter(ptr)` until no hazard slot publishes `ptr`.  In
+  /// CATS_CHECKED builds the call site feeds the reclamation checker (same
+  /// registry as the EBR domains, so cross-domain double retires are caught
+  /// too).
+#if CATS_CHECKED_ENABLED
+  void retire(void* ptr, void (*deleter)(void*),
+              std::source_location site = std::source_location::current());
+
+  template <class T>
+  void retire(T* ptr,
+              std::source_location site = std::source_location::current()) {
+    retire(static_cast<void*>(ptr),
+           [](void* p) { delete static_cast<T*>(p); }, site);
+  }
+#else
   void retire(void* ptr, void (*deleter)(void*));
 
   template <class T>
@@ -83,6 +102,7 @@ class HazardDomain {
     retire(static_cast<void*>(ptr),
            [](void* p) { delete static_cast<T*>(p); });
   }
+#endif
 
   /// Frees everything whose pointer is not currently published.  Tests call
   /// this after joining workers to verify nothing leaks.

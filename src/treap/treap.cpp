@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <cstdarg>
 #include <cstdlib>
 
 #include "obs/registry.hpp"
@@ -35,6 +36,19 @@ struct Node {
   std::uint8_t height;  // leaves have height 1
   bool is_leaf;
 
+#if CATS_CHECKED_ENABLED
+  /// Canary header: treap nodes are purely refcounted (never retired), so
+  /// the states are Alive -> poison; incref/decref verify Alive.
+  check::Canary check_canary{check::kCanaryAlive};
+
+  /// Poison-on-free (after the destructor, before deallocation): a stale
+  /// pointer from a refcount bug reads 0xEF..EF instead of plausible data.
+  static void operator delete(void* p, std::size_t size) {
+    check::poison(p, size);
+    ::operator delete(p);
+  }
+#endif
+
   Node(std::uint64_t size_, Key min_, Key max_, std::uint8_t height_,
        bool is_leaf_)
       : rc(1), size(size_), min_key(min_), max_key(max_), height(height_),
@@ -43,6 +57,8 @@ struct Node {
     CATS_OBS_ONLY(obs::count(obs::GCounter::kTreapNodeAllocs));
   }
   ~Node() {
+    CATS_CHECKED_ONLY(
+        check::canary_expect_alive(check_canary, "treap node (destructor)"));
     g_live_nodes.fetch_sub(1, std::memory_order_relaxed);
     CATS_OBS_ONLY(obs::count(obs::GCounter::kTreapNodeFrees));
   }
@@ -289,12 +305,20 @@ void split_rec(const Node* n, Key key, const Node** lo_out,
 namespace detail {
 
 void incref(const Node* node) noexcept {
+  CATS_CHECKED_ONLY(
+      check::canary_expect_alive(node->check_canary, "treap node (incref)"));
   node->rc.fetch_add(1, std::memory_order_relaxed);
 }
 
 void decref(const Node* node) noexcept {
   while (node != nullptr) {
-    if (node->rc.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+    CATS_CHECKED_ONLY(check::canary_expect_alive(node->check_canary,
+                                                 "treap node (decref)"));
+    const std::uint64_t prev =
+        node->rc.fetch_sub(1, std::memory_order_acq_rel);
+    CATS_CHECK(prev != 0, "treap node %p: refcount underflow",
+               static_cast<const void*>(node));
+    if (prev != 1) return;
     if (node->is_leaf) {
       delete static_cast<const Leaf*>(node);
       return;
@@ -440,40 +464,153 @@ std::size_t leaf_count(const Node* tree) {
 
 namespace {
 
-bool check_rec(const Node* n) {
-  if (n->rc.load(std::memory_order_relaxed) == 0) return false;
+/// Records one violated invariant against `report` (when non-null) and
+/// always evaluates to false so call sites read `ok = flag(...)`.
+bool flag(check::Report* report, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+bool flag(check::Report* report, const char* fmt, ...) {
+  if (report != nullptr) {
+    std::va_list args;
+    va_start(args, fmt);
+    report->addv(fmt, args);
+    va_end(args);
+  }
+  return false;
+}
+
+bool validate_rec(const Node* n, check::Report* report) {
+  const void* p = n;
+#if CATS_CHECKED_ENABLED
+  const std::uint64_t canary =
+      n->check_canary.load(std::memory_order_relaxed);
+  if (check::canary_state(canary) != check::CanaryState::kAlive) {
+    // Do not read further fields of a node whose canary is gone: the rest
+    // of the struct is as untrustworthy as the canary itself.
+    return flag(report, "treap node %p: canary is %s (0x%016llx), not alive",
+                p, check::canary_name(canary),
+                static_cast<unsigned long long>(canary));
+  }
+#endif
+  bool ok = true;
+  if (n->rc.load(std::memory_order_relaxed) == 0) {
+    ok = flag(report, "treap node %p: refcount is 0 but node is reachable", p);
+  }
   if (n->is_leaf) {
     const Leaf* leaf = as_leaf(n);
-    if (leaf->count < 1 || leaf->count > kLeafCapacity) return false;
-    if (leaf->size != leaf->count) return false;
-    if (leaf->min_key != leaf->items[0].key) return false;
-    if (leaf->max_key != leaf->items[leaf->count - 1].key) return false;
-    for (std::uint32_t i = 1; i < leaf->count; ++i) {
-      if (leaf->items[i - 1].key >= leaf->items[i].key) return false;
+    if (leaf->count < 1 || leaf->count > kLeafCapacity) {
+      return flag(report, "treap leaf %p: count %u outside [1, %u]", p,
+                  leaf->count, kLeafCapacity);
     }
-    return leaf->height == 1;
+    if (leaf->size != leaf->count) {
+      ok = flag(report, "treap leaf %p: size cache %llu != count %u", p,
+                static_cast<unsigned long long>(leaf->size), leaf->count);
+    }
+    if (leaf->min_key != leaf->items[0].key) {
+      ok = flag(report,
+                "treap leaf %p: min_key cache %lld != first item key %lld", p,
+                static_cast<long long>(leaf->min_key),
+                static_cast<long long>(leaf->items[0].key));
+    }
+    if (leaf->max_key != leaf->items[leaf->count - 1].key) {
+      ok = flag(report,
+                "treap leaf %p: max_key cache %lld != last item key %lld", p,
+                static_cast<long long>(leaf->max_key),
+                static_cast<long long>(leaf->items[leaf->count - 1].key));
+    }
+    for (std::uint32_t i = 1; i < leaf->count; ++i) {
+      if (leaf->items[i - 1].key >= leaf->items[i].key) {
+        ok = flag(report,
+                  "treap leaf %p: items[%u].key %lld >= items[%u].key %lld "
+                  "(not strictly ascending)",
+                  p, i - 1, static_cast<long long>(leaf->items[i - 1].key), i,
+                  static_cast<long long>(leaf->items[i].key));
+      }
+    }
+    if (leaf->height != 1) {
+      ok = flag(report, "treap leaf %p: height %u != 1", p,
+                static_cast<unsigned>(leaf->height));
+    }
+    return ok;
   }
   const Inner* in = as_inner(n);
-  if (in->left == nullptr || in->right == nullptr) return false;
-  if (in->left->max_key >= in->right->min_key) return false;
-  if (in->size != in->left->size + in->right->size) return false;
-  if (in->min_key != in->left->min_key) return false;
-  if (in->max_key != in->right->max_key) return false;
-  if (in->height != std::max(in->left->height, in->right->height) + 1) {
-    return false;
+  if (in->left == nullptr || in->right == nullptr) {
+    return flag(report, "treap inner %p: null child", p);
   }
-  if (std::abs(h(in->left) - h(in->right)) > 1) return false;
-  return check_rec(in->left) && check_rec(in->right);
+  if (!validate_rec(in->left, report)) ok = false;
+  if (!validate_rec(in->right, report)) ok = false;
+  if (!ok) return false;  // child fields below are only meaningful if sound
+  if (in->left->max_key >= in->right->min_key) {
+    ok = flag(report,
+              "treap inner %p: left max_key %lld >= right min_key %lld "
+              "(BST order violated)",
+              p, static_cast<long long>(in->left->max_key),
+              static_cast<long long>(in->right->min_key));
+  }
+  if (in->size != in->left->size + in->right->size) {
+    ok = flag(report, "treap inner %p: size cache %llu != %llu + %llu", p,
+              static_cast<unsigned long long>(in->size),
+              static_cast<unsigned long long>(in->left->size),
+              static_cast<unsigned long long>(in->right->size));
+  }
+  if (in->min_key != in->left->min_key) {
+    ok = flag(report, "treap inner %p: min_key cache %lld != left's %lld", p,
+              static_cast<long long>(in->min_key),
+              static_cast<long long>(in->left->min_key));
+  }
+  if (in->max_key != in->right->max_key) {
+    ok = flag(report, "treap inner %p: max_key cache %lld != right's %lld", p,
+              static_cast<long long>(in->max_key),
+              static_cast<long long>(in->right->max_key));
+  }
+  if (in->height != std::max(in->left->height, in->right->height) + 1) {
+    ok = flag(report, "treap inner %p: height %u != max(%u, %u) + 1", p,
+              static_cast<unsigned>(in->height),
+              static_cast<unsigned>(in->left->height),
+              static_cast<unsigned>(in->right->height));
+  }
+  if (std::abs(h(in->left) - h(in->right)) > 1) {
+    ok = flag(report, "treap inner %p: unbalanced (heights %d vs %d)", p,
+              h(in->left), h(in->right));
+  }
+  return ok;
 }
 
 }  // namespace
 
-bool check_invariants(const Node* tree) {
-  return tree == nullptr || check_rec(tree);
+bool validate(const Node* tree, check::Report* report) {
+  return tree == nullptr || validate_rec(tree, report);
 }
+
+bool check_invariants(const Node* tree) { return validate(tree, nullptr); }
 
 std::size_t live_nodes() {
   return g_live_nodes.load(std::memory_order_relaxed);
 }
+
+#if CATS_CHECKED_ENABLED
+namespace testing {
+
+// Test-only mutations of nominally-immutable nodes: negative tests use them
+// to prove the validators actually fire.  const_cast is confined to here.
+
+void corrupt_first_leaf_key(const Node* tree) {
+  assert(tree != nullptr);
+  const Node* n = tree;
+  while (!n->is_leaf) n = as_inner(n)->left;
+  auto* leaf = const_cast<Leaf*>(as_leaf(n));
+  // Breaks the min-key cache of every ancestor; with count > 1 it may also
+  // break intra-leaf ordering.
+  leaf->items[0].key += 1;
+}
+
+void corrupt_canary(const Node* tree) {
+  assert(tree != nullptr);
+  const_cast<Node*>(tree)->check_canary.store(0xBAD0BAD0'BAD0BAD0ull,
+                                              std::memory_order_relaxed);
+}
+
+}  // namespace testing
+#endif  // CATS_CHECKED_ENABLED
 
 }  // namespace cats::treap

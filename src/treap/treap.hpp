@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "check/check.hpp"
 #include "common/function_ref.hpp"
 #include "common/types.hpp"
 
@@ -147,8 +148,22 @@ std::size_t leaf_count(const Node* tree);
 /// Verifies all structural invariants (ordering, balance, sizes, min/max
 /// caches, leaf fill bounds).  Returns true if they all hold.
 bool check_invariants(const Node* tree);
+/// Same checks with one diagnostic line per violated invariant appended to
+/// `report` (CATS_CHECKED builds additionally verify node canaries and
+/// refcount sanity).  Returns true if everything holds.
+bool validate(const Node* tree, check::Report* report);
 /// Total live node count across all trees (leak detection in tests).
 std::size_t live_nodes();
+
+#if CATS_CHECKED_ENABLED
+namespace testing {
+/// Deliberately corrupts the leftmost leaf's first key so ordering and the
+/// min-key cache break — negative tests prove the validators fire.
+void corrupt_first_leaf_key(const Node* tree);
+/// Smashes the root node's canary — negative tests of the canary protocol.
+void corrupt_canary(const Node* tree);
+}  // namespace testing
+#endif
 
 // Convenience overloads on Ref.
 inline bool lookup(const Ref& t, Key k, Value* v) { return lookup(t.get(), k, v); }

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -190,6 +191,10 @@ TEST(LfcaAdapt, ForceSplitAndJoinAreDeterministic) {
   EXPECT_EQ(tree.route_node_count(), 2u);
   EXPECT_EQ(tree.size(), 1000u);
   EXPECT_TRUE(tree.check_integrity());
+  {
+    std::string diagnostics;
+    EXPECT_TRUE(tree.validate(&diagnostics)) << diagnostics;
+  }
 
   // Joins collapse the structure back to a single base node.
   int guard = 0;
@@ -199,6 +204,10 @@ TEST(LfcaAdapt, ForceSplitAndJoinAreDeterministic) {
   EXPECT_EQ(tree.route_node_count(), 0u);
   EXPECT_EQ(tree.size(), 1000u);
   EXPECT_TRUE(tree.check_integrity());
+  {
+    std::string diagnostics;
+    EXPECT_TRUE(tree.validate(&diagnostics)) << diagnostics;
+  }
 
   // Splitting a too-small base node is refused.
   LfcaTree tiny;
@@ -301,7 +310,9 @@ TEST(LfcaStress, DisjointKeyOwnership) {
             const bool found = tree.lookup(k, &v);
             auto it = model.find(k);
             ASSERT_EQ(found, it != model.end());
-            if (found) ASSERT_EQ(v, it->second);
+            if (found) {
+              ASSERT_EQ(v, it->second);
+            }
             break;
           }
         }

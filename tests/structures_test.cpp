@@ -87,7 +87,9 @@ TYPED_TEST(OrderedMapTest, SequentialRandomOpsMatchModel) {
         const bool found = map.lookup(k, &v);
         auto it = model.find(k);
         EXPECT_EQ(found, it != model.end()) << "op " << i;
-        if (found && it != model.end()) EXPECT_EQ(v, it->second);
+        if (found && it != model.end()) {
+          EXPECT_EQ(v, it->second);
+        }
         break;
       }
     }

@@ -285,7 +285,9 @@ TEST_P(TreapRandomOps, MatchesReferenceModel) {
         const bool found = lookup(t, key, &value);
         auto it = model.find(key);
         EXPECT_EQ(found, it != model.end());
-        if (found && it != model.end()) EXPECT_EQ(value, it->second);
+        if (found && it != model.end()) {
+          EXPECT_EQ(value, it->second);
+        }
         break;
       }
     }
@@ -336,8 +338,12 @@ TEST_P(TreapSplitJoinProperty, SplitThenJoinIsIdentity) {
     split(t.get(), pivot, &l, &r);
     ASSERT_TRUE(check_invariants(l.get()));
     ASSERT_TRUE(check_invariants(r.get()));
-    if (!empty(l)) ASSERT_LT(max_key(l.get()), pivot);
-    if (!empty(r)) ASSERT_GE(min_key(r.get()), pivot);
+    if (!empty(l)) {
+      ASSERT_LT(max_key(l.get()), pivot);
+    }
+    if (!empty(r)) {
+      ASSERT_GE(min_key(r.get()), pivot);
+    }
     Ref joined = join(l, r);
     ASSERT_EQ(size(joined), keys.size());
     ASSERT_TRUE(check_invariants(joined.get()));

@@ -61,7 +61,9 @@ TEST(VskipBasic, SequentialModelComparison) {
         Value v = 0;
         const bool found = map.lookup(k, &v);
         EXPECT_EQ(found, model.count(k) == 1);
-        if (found) EXPECT_EQ(v, model[k]);
+        if (found) {
+          EXPECT_EQ(v, model[k]);
+        }
       }
     }
   }
