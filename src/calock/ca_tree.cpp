@@ -36,6 +36,7 @@ namespace {
 
 using Node = CaTree::Node;
 
+// catslint: direct-delete(EBR deleter; runs after the grace period)
 void node_deleter(void* p) { delete static_cast<Node*>(p); }
 
 void release_container(reclaim::Domain& domain, const treap::Node* root) {
@@ -54,13 +55,14 @@ Xoshiro256& thread_rng() {
   return rng;
 }
 
+// catslint: quiescent(destructor-only teardown; no concurrent operations)
 void destroy_rec(Node* n) {
   if (n == nullptr) return;
   if (n->is_route) {
     destroy_rec(n->left.load(std::memory_order_relaxed));
     destroy_rec(n->right.load(std::memory_order_relaxed));
   }
-  delete n;
+  delete n;  // catslint: direct-delete(quiescent teardown; tree is private)
 }
 
 }  // namespace
@@ -71,6 +73,7 @@ CaTree::CaTree(reclaim::Domain& domain, const Config& config)
               std::memory_order_release);
 }
 
+// catslint: quiescent(destructor; caller guarantees no concurrent access)
 CaTree::~CaTree() { destroy_rec(root_.load(std::memory_order_relaxed)); }
 
 CaTree::Node* CaTree::find_base(Key key) const {

@@ -25,6 +25,7 @@ class ImTreeSet {
   explicit ImTreeSet(reclaim::Domain& domain = reclaim::Domain::global())
       : domain_(domain), root_(nullptr) {}
 
+  // catslint: quiescent(destructor; caller guarantees no concurrent access)
   ~ImTreeSet() {
     const treap::Node* root = root_.load(std::memory_order_relaxed);
     if (root != nullptr) treap::detail::decref(root);

@@ -28,6 +28,7 @@ struct KaryTree::Node {
 
 namespace {
 
+// catslint: direct-delete(EBR deleter; runs after the grace period)
 void node_deleter(void* p) { delete static_cast<KaryTree::Node*>(p); }
 
 }  // namespace
@@ -39,17 +40,19 @@ KaryTree::KaryTree(reclaim::Domain& domain, std::uint32_t k)
 
 namespace {
 
+// catslint: quiescent(destructor-only teardown; no concurrent operations)
 void destroy_rec(KaryTree::Node* n) {
   if (n == nullptr) return;
   if (n->is_route) {
     destroy_rec(n->left.load(std::memory_order_relaxed));
     destroy_rec(n->right.load(std::memory_order_relaxed));
   }
-  delete n;
+  delete n;  // catslint: direct-delete(quiescent teardown; tree is private)
 }
 
 }  // namespace
 
+// catslint: quiescent(destructor; caller guarantees no concurrent access)
 KaryTree::~KaryTree() { destroy_rec(root_.load(std::memory_order_relaxed)); }
 
 KaryTree::Node* KaryTree::find_leaf(Key key) const {
@@ -88,7 +91,7 @@ bool KaryTree::insert(Key key, Value value) {
     if (treap::size(next) <= k_) {
       auto* fresh = new Node(next.release(), leaf->parent);
       if (try_replace(leaf, fresh)) return !replaced;
-      delete fresh;
+      delete fresh;  // catslint: direct-delete(never published; CAS lost)
       continue;
     }
     // Overflow: split into two leaves under a new (permanent) route node.
@@ -103,9 +106,10 @@ bool KaryTree::insert(Key key, Value value) {
     route->right.store(rleaf, std::memory_order_relaxed);
     // route->parent is unused for routes; leaves carry the parent.
     if (try_replace(leaf, route)) return !replaced;
-    delete lleaf;
-    delete rleaf;
-    delete route;
+    // All three were built locally and the CAS lost: never published.
+    delete lleaf;  // catslint: direct-delete(never published; CAS lost)
+    delete rleaf;  // catslint: direct-delete(never published; CAS lost)
+    delete route;  // catslint: direct-delete(never published; CAS lost)
   }
 }
 
@@ -118,7 +122,7 @@ bool KaryTree::remove(Key key) {
     if (!removed) return false;
     auto* fresh = new Node(next.release(), leaf->parent);
     if (try_replace(leaf, fresh)) return true;
-    delete fresh;
+    delete fresh;  // catslint: direct-delete(never published; CAS lost)
   }
 }
 

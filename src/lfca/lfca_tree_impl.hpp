@@ -54,18 +54,19 @@ Node<C>* extreme_base(Node<C>* n, bool leftmost,
 }
 
 template <class C>
+// catslint: quiescent(destructor-only teardown; no concurrent operations)
 void destroy_reachable(Node<C>* n) {
   if (!is_real<C>(n)) return;
   if (n->type == NodeType::kRoute) {
     destroy_reachable<C>(n->left.load(std::memory_order_relaxed));
     destroy_reachable<C>(n->right.load(std::memory_order_relaxed));
-    delete n;
+    delete n;  // catslint: direct-delete(quiescent teardown)
   } else if (n->type == NodeType::kJoinMain) {
     // Drop the tree-slot reference; a retired-but-unfreed join_neighbor may
     // still hold one, in which case its deleter frees n later.
     release_join_main<C>(n);
   } else {
-    delete n;
+    delete n;  // catslint: direct-delete(quiescent teardown)
   }
 }
 
@@ -99,6 +100,7 @@ BasicLfcaTree<C>::BasicLfcaTree(reclaim::Domain& domain, const Config& config)
 }
 
 template <class C>
+// catslint: quiescent(destructor; caller guarantees no concurrent access)
 BasicLfcaTree<C>::~BasicLfcaTree() {
   // Precondition: quiescent.  Joins always finish phase 2 before their
   // initiating operation returns, so no node reachable here is duplicated
@@ -272,7 +274,7 @@ bool BasicLfcaTree<C>::do_update(UpdateKind kind, Key key, Value value) {
         adapt_if_needed(newb);
         return kind == UpdateKind::kInsert ? !changed : changed;
       }
-      delete newb;  // never published
+      delete newb;  // catslint: direct-delete(never published; CAS lost)
       count_obs(TreeCounter::kUpdateCasFails);
     } else {
       count_obs(TreeCounter::kUpdateBlockedRetries);
@@ -353,9 +355,9 @@ bool BasicLfcaTree<C>::high_contention_adaptation(Node* b) {
     });
     return true;
   }
-  delete lb;
-  delete rb;
-  delete r;
+  delete lb;  // catslint: direct-delete(never published; split CAS lost)
+  delete rb;  // catslint: direct-delete(never published; split CAS lost)
+  delete r;   // catslint: direct-delete(never published; split CAS lost)
   count_obs(TreeCounter::kSplitFailedCas);
   CATS_OBS_ONLY(
       obs::trace_adapt(obs::AdaptKind::kSplitFailed, depth_of(split_key),
@@ -436,7 +438,7 @@ typename BasicLfcaTree<C>::Node* BasicLfcaTree<C>::secure_join(
     Node* expected = b;
     if (!slot.compare_exchange_strong(expected, m,
                                       std::memory_order_acq_rel)) {
-      delete m;
+      delete m;  // catslint: direct-delete(never published; CAS lost)
       return nullptr;
     }
     retire(b);
@@ -452,7 +454,7 @@ typename BasicLfcaTree<C>::Node* BasicLfcaTree<C>::secure_join(
   n1->main_node = m;
   m->main_refs.fetch_add(1, std::memory_order_relaxed);  // held by n1
   if (!try_replace(n0, n1)) {
-    delete n1;
+    delete n1;  // catslint: direct-delete(never published; CAS lost)
     m->neigh2.store(Node::aborted(), std::memory_order_release);  // fail0
     return nullptr;
   }
@@ -509,7 +511,8 @@ typename BasicLfcaTree<C>::Node* BasicLfcaTree<C>::secure_join(
   }
 
   // Lines 245-248: another thread aborted the join; roll back the marks.
-  delete n2;  // never published; releases its main_refs reference
+  // catslint: direct-delete(never published; releases main_refs reference)
+  delete n2;
   if (gparent != nullptr) {
     gparent->join_id.store(nullptr, std::memory_order_release);
   }
@@ -659,7 +662,7 @@ const typename C::Node* BasicLfcaTree<C>::all_in_range(
       if (my_s == nullptr) my_s = new ResultStorage();  // reused on retry
       Node* n = detail::new_range_base<C>(b, lo, hi, my_s);
       if (!try_replace(b, n)) {
-        delete n;
+        delete n;  // catslint: direct-delete(never published; CAS lost)
         count_obs(TreeCounter::kRangeCasFails);
         continue;  // goto find_first
       }
@@ -700,7 +703,7 @@ const typename C::Node* BasicLfcaTree<C>::all_in_range(
           b = n;
           advanced = true;
         } else {
-          delete n;
+          delete n;  // catslint: direct-delete(never published; CAS lost)
           count_obs(TreeCounter::kRangeCasFails);
           stack = backup;
         }

@@ -68,6 +68,7 @@ struct ResultStorage {
 
   void add_ref() { rc.fetch_add(1, std::memory_order_relaxed); }
   void release() {
+    // catslint: direct-delete(refcounted; last release owns the storage)
     if (rc.fetch_sub(1, std::memory_order_acq_rel) == 1) delete this;
   }
 };
@@ -166,6 +167,7 @@ bool is_real(const Node<C>* p) {
 /// main-node reference.
 template <class C>
 void node_deleter(void* ptr) {
+  // catslint: direct-delete(EBR deleter; runs after the grace period)
   delete static_cast<Node<C>*>(ptr);
 }
 
@@ -183,6 +185,7 @@ void release_join_main(Node<C>* m) {
   CATS_CHECK(prev != 0, "join_main %p: main_refs underflow",
              static_cast<void*>(m));
   if (prev == 1) {
+    // catslint: direct-delete(refcounted; last main_refs holder frees)
     delete m;
   }
 }

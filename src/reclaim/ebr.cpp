@@ -140,6 +140,7 @@ void Domain::enter() {
     const std::uint64_t e = global_epoch_.load(std::memory_order_relaxed);
     // seq_cst: the announcement must become visible before any subsequent
     // load of shared pointers, or try_advance could miss this reader.
+    // catslint: seq_cst(store-load fence pairs with try_advance scan)
     slots_[ctx.slot_index]->announced.store(e, std::memory_order_seq_cst);
   }
 }
@@ -187,10 +188,17 @@ void Domain::retire(void* ptr, void (*deleter)(void*)) {
 
 bool Domain::try_advance() {
   CATS_OBS_ONLY(obs::count(obs::GCounter::kEbrAdvanceAttempts));
+  // Both seq_cst loads below close the Dekker race with enter(): a reader
+  // announces (seq_cst store) and then reads shared pointers; the scan must
+  // sit after that store in the single total order, or an advance could
+  // free memory the reader is still traversing.  try_advance runs once per
+  // kDrainThreshold retires, so this is off the operation hot path.
+  // catslint: seq_cst(epoch read ordered against announce stores)
   std::uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
   for (const auto& slot : slots_) {
     if (slot->owner.load(std::memory_order_acquire) == nullptr) continue;
     const std::uint64_t announced =
+        // catslint: seq_cst(scan must observe every pre-scan announcement)
         slot->announced.load(std::memory_order_seq_cst);
     if (announced != kIdle && announced != e) return false;
   }

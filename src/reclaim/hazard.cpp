@@ -118,6 +118,7 @@ void HazardDomain::scan(ThreadCtx& ctx) {
   std::vector<void*> protected_ptrs;
   protected_ptrs.reserve(kMaxThreads * kPerThread / 8);
   for (const auto& hazard : hazards_) {
+    // catslint: seq_cst(scan load pairs with publish(); store-load fence)
     void* ptr = hazard->load(std::memory_order_seq_cst);
     if (ptr != nullptr) protected_ptrs.push_back(ptr);
   }

@@ -127,6 +127,10 @@ class HazardDomain {
   static constexpr std::size_t kScanThreshold = 128;
 
   void publish(std::size_t index, void* ptr) {
+    // The store must precede the validating re-read of the source pointer
+    // in the total order, or scan() could miss a hazard that protect() is
+    // about to confirm — the classic hazard-pointer store-load fence.
+    // catslint: seq_cst(publish must be ordered before validation re-read)
     hazards_[index]->store(ptr, std::memory_order_seq_cst);
   }
   void clear(std::size_t index);

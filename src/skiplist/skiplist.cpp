@@ -46,11 +46,12 @@ SkipList::SkipList(reclaim::Domain& domain) : domain_(domain) {
   }
 }
 
+// catslint: quiescent(destructor; caller guarantees no concurrent access)
 SkipList::~SkipList() {
   Node* cur = head_;
   while (cur != nullptr) {
     Node* next = ptr_of(cur->next[0].load(std::memory_order_relaxed));
-    delete cur;
+    delete cur;  // catslint: direct-delete(quiescent teardown)
     cur = next;
   }
 }
@@ -124,7 +125,7 @@ bool SkipList::insert(Key key, Value value) {
     std::uintptr_t expected = make_word(succs[0], false);
     if (!preds[0]->next[0].compare_exchange_strong(
             expected, make_word(node, false), std::memory_order_acq_rel)) {
-      delete node;  // never published
+      delete node;  // catslint: direct-delete(never published; CAS lost)
       continue;
     }
     // Link the upper levels.  A concurrent remove may mark the node at any

@@ -319,14 +319,19 @@ void decref(const Node* node) noexcept {
     CATS_CHECK(prev != 0, "treap node %p: refcount underflow",
                static_cast<const void*>(node));
     if (prev != 1) return;
+    // Treap nodes are immutable and refcounted: dropping the last
+    // reference is the only path here, so the delete cannot race a reader
+    // (any reader holds its own reference or sits behind an EBR retire of
+    // the container that owns this reference).
     if (node->is_leaf) {
+      // catslint: direct-delete(refcounted; last reference frees)
       delete static_cast<const Leaf*>(node);
       return;
     }
     const Inner* inner = static_cast<const Inner*>(node);
     const Node* left = inner->left;
     const Node* right = inner->right;
-    delete inner;
+    delete inner;  // catslint: direct-delete(refcounted; last reference frees)
     decref(left);   // bounded by tree height
     node = right;   // iterate down the other spine
   }

@@ -47,6 +47,7 @@ int random_level() {
 }
 
 void record_deleter(void* p) {
+  // catslint: direct-delete(EBR deleter; runs after the grace period)
   delete static_cast<VersionedSkipList::Record*>(p);
 }
 
@@ -62,6 +63,7 @@ VersionedSkipList::VersionedSkipList(reclaim::Domain& domain)
   for (auto& slot : scan_slots_) slot->store(0, std::memory_order_relaxed);
 }
 
+// catslint: quiescent(destructor; caller guarantees no concurrent access)
 VersionedSkipList::~VersionedSkipList() {
   Node* cur = head_;
   while (cur != nullptr) {
@@ -69,10 +71,10 @@ VersionedSkipList::~VersionedSkipList() {
     Record* rec = cur->records.load(std::memory_order_relaxed);
     while (rec != nullptr) {
       Record* older = rec->next.load(std::memory_order_relaxed);
-      delete rec;
+      delete rec;  // catslint: direct-delete(quiescent teardown)
       rec = older;
     }
-    delete cur;
+    delete cur;  // catslint: direct-delete(quiescent teardown)
     cur = next;
   }
 }
@@ -116,7 +118,7 @@ VersionedSkipList::Node* VersionedSkipList::get_or_insert_node(Key key) {
     Node* expected = succs[0];
     if (!preds[0]->next[0].compare_exchange_strong(
             expected, node, std::memory_order_acq_rel)) {
-      delete node;
+      delete node;  // catslint: direct-delete(never published; CAS lost)
       continue;  // somebody changed the bottom window; retry
     }
     // Upper levels: nodes are immortal, so linking is simple best-effort

@@ -116,7 +116,7 @@ TEST(Ebr, ManyThreadsNoLeakNoUseAfterFree) {
       });
     }
     for (auto& th : threads) th.join();
-    delete shared.load();
+    domain.retire(shared.load());  // routed through the domain deleter
     domain.drain();
     EXPECT_EQ(domain.pending(), 0u);
   }
@@ -204,7 +204,7 @@ TEST(Hazard, TreiberStackStress) {
     while (cur != nullptr) {
       rest += cur->value;
       StackNode* next = cur->next;
-      delete cur;
+      domain.retire(cur);  // routed through the domain deleter
       cur = next;
     }
     EXPECT_EQ(pushed_sum.load(), popped_sum.load() + rest);

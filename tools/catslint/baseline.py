@@ -1,0 +1,52 @@
+"""Findings baseline: a checked-in allowlist of fingerprints.
+
+A baseline entry grandfathers an existing finding without fixing it; the
+CI gate fails only on findings whose fingerprint is not in the baseline.
+Fingerprints hash the rule, file and normalized line text, so unrelated
+edits (line drift, reformatting elsewhere) do not invalidate them.
+
+The repo policy is to keep this file EMPTY outside genuine migrations:
+prefer a fix or an in-source annotation with a reason.  `--update-baseline`
+rewrites the file from the current findings for bulk migrations.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Tuple
+
+from model import Finding
+
+
+def load(path: str) -> Dict[str, dict]:
+    if not path or not os.path.exists(path):
+        return {}
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    return {e["fingerprint"]: e for e in data.get("findings", [])}
+
+
+def save(path: str, findings: List[Finding]) -> None:
+    data = {
+        "comment": ("cats-lint baseline: grandfathered findings. "
+                    "Keep empty; prefer fixes or in-source annotations."),
+        "findings": [
+            {"fingerprint": f.fingerprint, "rule": f.rule, "file": f.file,
+             "message": f.message}
+            for f in findings
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def split(findings: List[Finding],
+          base: Dict[str, dict]) -> Tuple[List[Finding], List[Finding]]:
+    """Returns (new_findings, baselined_findings)."""
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for f in findings:
+        (old if f.fingerprint in base else new).append(f)
+    return new, old

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""cats-lint: repo-specific static analysis for the LFCA tree's
+concurrency contracts.
+
+Rules (see DESIGN.md, "Static analysis"):
+  R1 explicit-memory-order   every atomic op names its memory order
+  R2 guard-required          shared-pointer loads happen under EBR/hazard
+  R3 retire-not-delete       node types go through Domain::retire
+  R4 no-blocking-in-lockfree lock-free paths never block
+
+Engines:
+  clang  precise, built on the libclang Python bindings and
+         compile_commands.json (CI installs python3-clang)
+  token  dependency-free lexical engine, authoritative for the gating
+         run so results match on machines without libclang
+  auto   clang when importable, token otherwise
+
+Usage:
+  catslint.py [--src PATH ...] [--engine auto|token|clang]
+              [--compdb build/compile_commands.json]
+              [--baseline tools/catslint/baseline.json]
+              [--disable R2,R4] [--update-baseline] [--json OUT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import baseline as baseline_mod  # noqa: E402
+import rules as rules_mod  # noqa: E402
+import token_engine  # noqa: E402
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+SOURCE_EXTS = (".hpp", ".cpp", ".cc", ".h", ".hh", ".cxx")
+
+
+def discover_sources(paths):
+    out = []
+    for p in paths:
+        p = os.path.abspath(p)
+        if os.path.isfile(p):
+            out.append(p)
+            continue
+        for root, dirs, files in os.walk(p):
+            dirs[:] = [d for d in dirs if not d.startswith(".")]
+            for name in sorted(files):
+                if name.endswith(SOURCE_EXTS):
+                    out.append(os.path.join(root, name))
+    return sorted(set(out))
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(prog="catslint", description=__doc__)
+    ap.add_argument("--src", action="append", default=[],
+                    help="file or directory to analyze (repeatable); "
+                         "default: <repo>/src")
+    ap.add_argument("--engine", choices=("auto", "token", "clang"),
+                    default="auto")
+    ap.add_argument("--compdb",
+                    default=os.path.join(REPO, "build",
+                                         "compile_commands.json"),
+                    help="compile_commands.json for the clang engine")
+    ap.add_argument("--config", default=os.path.join(HERE, "config.json"))
+    ap.add_argument("--baseline",
+                    default=os.path.join(HERE, "baseline.json"))
+    ap.add_argument("--no-baseline", action="store_true",
+                    help="ignore the baseline file (report everything)")
+    ap.add_argument("--disable", default="",
+                    help="comma-separated rules to disable, e.g. R2,R4")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline from current findings")
+    ap.add_argument("--json", default="",
+                    help="write a JSON report to this path")
+    ap.add_argument("--verbose", "-v", action="store_true")
+    args = ap.parse_args(argv)
+
+    with open(args.config, encoding="utf-8") as f:
+        cfg = json.load(f)
+
+    disabled = {r.strip().upper() for r in args.disable.split(",")
+                if r.strip()}
+    enabled = {r for r in rules_mod.ALL_RULES if r not in disabled}
+
+    src_paths = args.src or [os.path.join(REPO, "src")]
+    wanted = discover_sources(src_paths)
+    wanted_rel = {os.path.relpath(p, REPO) for p in wanted}
+
+    engine = args.engine
+    if engine == "auto":
+        import clang_engine
+        engine = "clang" if clang_engine.available() else "token"
+
+    models = []
+    if engine == "clang":
+        import clang_engine
+        if not clang_engine.available():
+            print("catslint: clang engine requested but clang.cindex is "
+                  "not importable", file=sys.stderr)
+            return 2
+        if not os.path.exists(args.compdb):
+            print(f"catslint: compile_commands.json not found at "
+                  f"{args.compdb} (configure with "
+                  f"-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)", file=sys.stderr)
+            return 2
+        by_rel = clang_engine.analyze_compdb(args.compdb, REPO, cfg)
+        models = [m for rel, m in sorted(by_rel.items())
+                  if rel in wanted_rel]
+        # Files never reached through a TU (self-contained fixtures,
+        # orphan headers) are parsed standalone; if even that fails they
+        # fall back to the token engine so nothing escapes analysis.
+        covered = {m.rel for m in models}
+        for p in wanted:
+            rel = os.path.relpath(p, REPO)
+            if rel in covered:
+                continue
+            try:
+                for m in clang_engine.analyze_file(p, REPO, cfg).values():
+                    models.append(m)
+                    covered.add(m.rel)
+            except Exception:
+                pass
+            if rel not in covered:
+                models.append(token_engine.analyze_file(p, rel, cfg))
+    else:
+        for p in wanted:
+            rel = os.path.relpath(p, REPO)
+            models.append(token_engine.analyze_file(p, rel, cfg))
+
+    findings = []
+    for m in models:
+        findings.extend(rules_mod.run_rules(m, cfg, enabled))
+    findings.sort(key=lambda f: (f.file, f.line, f.rule))
+
+    if args.update_baseline:
+        baseline_mod.save(args.baseline, findings)
+        print(f"catslint: wrote {len(findings)} finding(s) to "
+              f"{os.path.relpath(args.baseline, REPO)}")
+        return 0
+
+    base = {} if args.no_baseline else baseline_mod.load(args.baseline)
+    new, old = baseline_mod.split(findings, base)
+
+    for f in new:
+        print(f.render())
+    if args.verbose and old:
+        for f in old:
+            print(f"(baselined) {f.render()}")
+
+    if args.json:
+        report = {
+            "engine": engine,
+            "files_analyzed": len(models),
+            "rules": sorted(enabled),
+            "new": [vars(f) for f in new],
+            "baselined": [vars(f) for f in old],
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+
+    summary = (f"catslint[{engine}]: {len(models)} file(s), "
+               f"{len(new)} new finding(s), {len(old)} baselined")
+    print(summary, file=sys.stderr)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,273 @@
+"""libclang frontend: lowers translation units from compile_commands.json
+into the same FileModel the token engine produces, with real type
+information (atomic receivers, delete-target types, guard declarations).
+
+Import of clang.cindex is deferred so the driver can fall back to the
+token engine on machines without the bindings (this repo's dev container
+ships only GCC); CI installs python3-clang/libclang and runs this engine.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+import cpptok
+from model import (ATOMIC_OPS, AtomicOp, DeleteOp, FileModel, FuncInfo)
+
+
+def available() -> bool:
+    try:
+        import clang.cindex  # noqa: F401
+        return True
+    except Exception:
+        return False
+
+
+def _configure_library() -> None:
+    import clang.cindex as ci
+    if ci.Config.loaded:
+        return
+    for candidate in (
+            os.environ.get("CATSLINT_LIBCLANG", ""),
+            "libclang.so", "libclang-15.so", "libclang-14.so",
+            "/usr/lib/llvm-15/lib/libclang.so",
+            "/usr/lib/llvm-14/lib/libclang.so",
+            "/usr/lib/x86_64-linux-gnu/libclang-14.so.1"):
+        if not candidate:
+            continue
+        try:
+            ci.Config.set_library_file(candidate)
+            ci.Index.create()
+            return
+        except Exception:
+            ci.Config.loaded = False
+            continue
+
+
+def _spelled_type(t) -> str:
+    """Last component of a type spelling, templates and quals stripped."""
+    s = t.spelling
+    for prefix in ("const ", "volatile "):
+        while s.startswith(prefix):
+            s = s[len(prefix):]
+    s = s.split("<")[0].rstrip("*& ")
+    return s.split("::")[-1].strip()
+
+
+class _TuVisitor:
+    def __init__(self, models: Dict[str, FileModel], repo: str, cfg: dict):
+        self.models = models
+        self.repo = repo
+        self.cfg = cfg
+        self.guard_types = set(cfg.get("guard_types", []))
+        self.blocking_ids = set(cfg.get("blocking_identifiers", []))
+        self.shared_fields = set(cfg.get("shared_atomic_fields", []))
+        self.node_types = set(cfg.get("r3", {}).get("node_types", []))
+
+    def model_for(self, cursor) -> Optional[FileModel]:
+        loc = cursor.location
+        if loc.file is None:
+            return None
+        path = os.path.realpath(loc.file.name)
+        rel = os.path.relpath(path, self.repo)
+        if rel.startswith(".."):
+            return None
+        if rel not in self.models:
+            self.models[rel] = FileModel(path=path, rel=rel)
+            try:
+                with open(path, encoding="utf-8", errors="replace") as f:
+                    raw = f.read().splitlines()
+                self.models[rel].lines = {
+                    i + 1: raw[i] for i in range(len(raw))}
+                self.models[rel].annotations = \
+                    cpptok.extract_annotations(raw)
+            except OSError:
+                pass
+        return self.models[rel]
+
+    def visit(self, tu) -> None:
+        from clang.cindex import CursorKind
+        func_kinds = {
+            CursorKind.FUNCTION_DECL, CursorKind.CXX_METHOD,
+            CursorKind.CONSTRUCTOR, CursorKind.DESTRUCTOR,
+            CursorKind.FUNCTION_TEMPLATE, CursorKind.LAMBDA_EXPR,
+        }
+
+        def walk(cursor, enclosing: Optional[FuncInfo],
+                 enclosing_class: Optional[str]) -> None:
+            for child in cursor.get_children():
+                kind = child.kind
+                if kind in (CursorKind.CLASS_DECL, CursorKind.STRUCT_DECL,
+                            CursorKind.CLASS_TEMPLATE):
+                    walk(child, enclosing, child.spelling or enclosing_class)
+                    continue
+                if kind in func_kinds and child.is_definition() and \
+                        kind != CursorKind.LAMBDA_EXPR:
+                    model = self.model_for(child)
+                    f = None
+                    if model is not None:
+                        extent = child.extent
+                        name = child.spelling or "<anon>"
+                        qual = name
+                        sem = child.semantic_parent
+                        if sem is not None and sem.spelling and \
+                                sem.kind != CursorKind.TRANSLATION_UNIT:
+                            qual = f"{sem.spelling}::{name}"
+                        f = FuncInfo(
+                            name=qual, base_name=name, file=model.rel,
+                            def_line=extent.start.line,
+                            end_line=extent.end.line)
+                        model.funcs.append(f)
+                    walk(child, f if f is not None else enclosing,
+                         enclosing_class)
+                    continue
+                self._visit_stmt(child, enclosing, enclosing_class)
+                walk(child, enclosing, enclosing_class)
+
+        walk(tu.cursor, None, None)
+
+    def _visit_stmt(self, cursor, f: Optional[FuncInfo],
+                    enclosing_class: Optional[str]) -> None:
+        from clang.cindex import CursorKind
+        model = self.model_for(cursor)
+        if model is None:
+            return
+        kind = cursor.kind
+        line = cursor.location.line
+
+        if kind == CursorKind.CALL_EXPR and f is not None:
+            callee = cursor.spelling or ""
+            if callee in ATOMIC_OPS and self._is_atomic_member(cursor):
+                self._record_atomic(model, f, cursor)
+                return
+            if callee:
+                f.calls.append((callee, line))
+            if callee in self.blocking_ids:
+                f.blocking.append((callee, line))
+            return
+
+        if kind == CursorKind.VAR_DECL and f is not None:
+            tname = _spelled_type(cursor.type)
+            if tname in self.guard_types:
+                f.creates_guard = True
+            if tname in self.blocking_ids:
+                f.blocking.append((tname, line))
+            return
+
+        if kind == CursorKind.CXX_DELETE_EXPR:
+            self._record_delete(model, f, cursor, enclosing_class)
+
+    def _is_atomic_member(self, cursor) -> bool:
+        from clang.cindex import CursorKind
+        for child in cursor.get_children():
+            if child.kind == CursorKind.MEMBER_REF_EXPR:
+                base = next(iter(child.get_children()), None)
+                if base is not None and \
+                        "atomic" in base.type.spelling:
+                    return True
+        return False
+
+    def _record_atomic(self, model: FileModel, f: FuncInfo,
+                       cursor) -> None:
+        from clang.cindex import CursorKind
+        op = cursor.spelling
+        line = cursor.location.line
+        toks = [t.spelling for t in cursor.get_tokens()]
+        has_order = any("memory_order" in t for t in toks)
+        seq_cst = any("seq_cst" in t for t in toks)
+        receiver = ""
+        pointee_shared = False
+        for child in cursor.get_children():
+            if child.kind == CursorKind.MEMBER_REF_EXPR:
+                receiver = child.spelling or ""
+                base = next(iter(child.get_children()), None)
+                if base is not None and receiver in self.shared_fields:
+                    pointee_shared = True
+                # member itself named like a shared field, e.g. root_
+                if child.spelling in self.shared_fields:
+                    pointee_shared = True
+                break
+        model.atomic_ops.append(AtomicOp(
+            file=model.rel, line=line, op=op, receiver=receiver,
+            has_explicit_order=has_order, explicit_seq_cst=seq_cst,
+            enclosing=f.name if f else None))
+        if op == "load" and pointee_shared and f is not None:
+            f.shared_load_lines.append(line)
+
+    def _record_delete(self, model: FileModel, f: Optional[FuncInfo],
+                       cursor, enclosing_class: Optional[str]) -> None:
+        from clang.cindex import CursorKind
+        line = cursor.location.line
+        target_type = None
+        target_expr = ""
+        is_this = False
+        for child in cursor.get_children():
+            target_type = _spelled_type(child.type)
+            toks = [t.spelling for t in child.get_tokens()]
+            target_expr = " ".join(toks[:12])
+            if child.kind == CursorKind.CXX_THIS_EXPR or \
+                    target_expr.strip() == "this":
+                is_this = True
+            break
+        in_op_delete = bool(f and f.base_name == "operator delete")
+        model.delete_ops.append(DeleteOp(
+            file=model.rel, line=line, target_type=target_type,
+            target_expr=target_expr, is_delete_this=is_this,
+            enclosing=f.name if f else None,
+            enclosing_class=enclosing_class,
+            in_operator_delete=in_op_delete))
+
+
+def analyze_file(path: str, repo: str, cfg: dict) -> Dict[str, FileModel]:
+    """Parses one self-contained file (no compdb), e.g. a lint fixture."""
+    import clang.cindex as ci
+    _configure_library()
+    index = ci.Index.create()
+    tu = index.parse(os.path.realpath(path), args=["-std=c++20"])
+    models: Dict[str, FileModel] = {}
+    _TuVisitor(models, repo, cfg).visit(tu)
+    rel = os.path.relpath(os.path.realpath(path), repo)
+    return {k: v for k, v in models.items() if k == rel}
+
+
+def analyze_compdb(compdb_path: str, repo: str,
+                   cfg: dict) -> Dict[str, FileModel]:
+    import json
+
+    import clang.cindex as ci
+    _configure_library()
+    index = ci.Index.create()
+    with open(compdb_path, encoding="utf-8") as fh:
+        entries = json.load(fh)
+    models: Dict[str, FileModel] = {}
+    visitor = _TuVisitor(models, repo, cfg)
+    seen = set()
+    for entry in entries:
+        src = os.path.realpath(
+            os.path.join(entry.get("directory", "."), entry["file"]))
+        if src in seen:
+            continue
+        seen.add(src)
+        args = entry.get("command", "").split()[1:]
+        if "arguments" in entry:
+            args = entry["arguments"][1:]
+        # Drop output/input args; keep includes, defines, std flags.
+        keep: List[str] = []
+        skip_next = False
+        for a in args:
+            if skip_next:
+                skip_next = False
+                continue
+            if a in ("-o", "-c", "-MF", "-MT", "-MQ"):
+                skip_next = a != "-c"
+                continue
+            if a == entry["file"] or a.endswith(os.path.basename(src)):
+                continue
+            keep.append(a)
+        try:
+            tu = index.parse(src, args=keep)
+        except ci.TranslationUnitLoadError:
+            continue
+        visitor.visit(tu)
+    return models

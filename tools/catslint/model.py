@@ -1,0 +1,148 @@
+"""Shared analysis model for cats-lint.
+
+Both frontends (the libclang engine and the fallback token engine) lower a
+translation unit / source file into this engine-independent fact set; the
+rules in rules.py only ever see these types, so a rule behaves identically
+no matter which frontend produced the facts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Dict, List, Optional, Set, Tuple
+
+# Atomic member functions R1 cares about.  wait/notify_one/notify_all are
+# excluded: they have no memory-order argument worth auditing here.
+ATOMIC_OPS = {
+    "load",
+    "store",
+    "exchange",
+    "compare_exchange_weak",
+    "compare_exchange_strong",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+}
+
+# Annotation directive names and whether they require a (reason).
+DIRECTIVES = {
+    "seq_cst": True,        # R1: deliberate seq_cst, reason required
+    "under-guard": False,   # R2: callers guarantee an EBR guard / hazard slot
+    "quiescent": True,      # R2: single-threaded context (ctor/teardown/test)
+    "direct-delete": True,  # R3: delete outside the reclamation domain
+    "blocking-ok": True,    # R4: deliberate blocking call, reason required
+    "off": False,           # generic per-line rule suppression: off(R1,R3)
+}
+
+
+@dataclasses.dataclass
+class Annotation:
+    directive: str
+    reason: str  # empty when the directive takes no reason
+    rules: Tuple[str, ...]  # for "off": which rules are suppressed
+    line: int  # effective code line the annotation applies to
+    raw_line: int  # line the comment physically sits on
+
+
+@dataclasses.dataclass
+class AtomicOp:
+    file: str
+    line: int
+    op: str  # one of ATOMIC_OPS
+    receiver: str  # source text of the object expression, best effort
+    has_explicit_order: bool
+    explicit_seq_cst: bool
+    enclosing: Optional[str]  # enclosing function name, best effort
+
+
+@dataclasses.dataclass
+class DeleteOp:
+    file: str
+    line: int
+    target_type: Optional[str]  # resolved pointee type name, best effort
+    target_expr: str
+    is_delete_this: bool
+    enclosing: Optional[str]
+    enclosing_class: Optional[str]
+    in_operator_delete: bool  # inside a (poisoning) operator delete
+
+
+@dataclasses.dataclass
+class FuncInfo:
+    name: str  # qualified, best effort (e.g. BasicLfcaTree::do_update)
+    base_name: str  # last component, used for per-TU call-graph matching
+    file: str
+    def_line: int
+    end_line: int
+    creates_guard: bool = False
+    # Lines holding loads of shared atomic pointers (R2 trigger sites).
+    shared_load_lines: List[int] = dataclasses.field(default_factory=list)
+    calls: List[Tuple[str, int]] = dataclasses.field(default_factory=list)
+    # (token, line) pairs of blocking primitives seen in the body (R4).
+    blocking: List[Tuple[str, int]] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class FileModel:
+    path: str  # path as analyzed (absolute or repo-relative)
+    rel: str  # repo-relative path used in reports and fingerprints
+    atomic_ops: List[AtomicOp] = dataclasses.field(default_factory=list)
+    delete_ops: List[DeleteOp] = dataclasses.field(default_factory=list)
+    funcs: List[FuncInfo] = dataclasses.field(default_factory=list)
+    # effective code line -> annotations applying to that line
+    annotations: Dict[int, List[Annotation]] = dataclasses.field(
+        default_factory=dict)
+    # line number -> raw source text (for fingerprints)
+    lines: Dict[int, str] = dataclasses.field(default_factory=dict)
+
+    def annotations_for_line(self, line: int) -> List[Annotation]:
+        return self.annotations.get(line, [])
+
+    def annotations_for_func(self, f: FuncInfo) -> List[Annotation]:
+        out: List[Annotation] = []
+        for line, anns in self.annotations.items():
+            if f.def_line <= line <= f.end_line:
+                out.extend(anns)
+        return out
+
+
+@dataclasses.dataclass
+class Finding:
+    rule: str  # R1..R4
+    file: str  # repo-relative
+    line: int
+    message: str
+    fingerprint: str = ""
+
+    def render(self) -> str:
+        return (f"{self.file}:{self.line}: {self.rule}: {self.message} "
+                f"[{self.fingerprint}]")
+
+
+def fingerprint(rule: str, rel: str, line_text: str) -> str:
+    """Content-based fingerprint, stable across unrelated line drift."""
+    norm = " ".join(line_text.split())
+    h = hashlib.sha1(f"{rule}|{rel}|{norm}".encode()).hexdigest()
+    return h[:16]
+
+
+def suppressed(anns: List[Annotation], rule: str,
+               directive: str) -> Optional[Annotation]:
+    """Returns the annotation that suppresses `rule`, if any.
+
+    A finding is suppressed either by the rule's dedicated directive (with
+    its reason) or by a generic off(<rule>) entry.
+    """
+    for a in anns:
+        if a.directive == directive:
+            return a
+        if a.directive == "off" and (not a.rules or rule in a.rules):
+            return a
+    return None
+
+
+def func_directives(model: FileModel, f: FuncInfo) -> Set[str]:
+    return {a.directive for a in model.annotations_for_func(f)}

@@ -1,0 +1,295 @@
+"""The four cats-lint rules, evaluated over the engine-independent
+FileModel.
+
+R1 explicit-memory-order  — no defaulted (or unexplained explicit) seq_cst.
+R2 guard-required         — shared-atomic pointer loads only in functions
+                            proven to run under an EBR guard / hazard slot
+                            (directly, by annotation, or because every
+                            caller chain in the TU is proven).
+R3 retire-not-delete      — no direct delete of reclaimable node types
+                            outside src/reclaim/ and poisoning deleters.
+R4 no-blocking-in-lockfree— no blocking primitive reachable from the
+                            lock-free entry points.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Dict, List, Set
+
+from model import (FileModel, Finding, FuncInfo, fingerprint, suppressed)
+
+ALL_RULES = ("R1", "R2", "R3", "R4")
+
+
+def _line_text(model: FileModel, line: int) -> str:
+    return model.lines.get(line, "")
+
+
+def _path_matches(rel: str, patterns: List[str]) -> bool:
+    return any(fnmatch.fnmatch(rel, pat) or rel.startswith(pat.rstrip("*"))
+               for pat in patterns)
+
+
+def _mk(model: FileModel, rule: str, line: int, msg: str) -> Finding:
+    return Finding(rule=rule, file=model.rel, line=line, message=msg,
+                   fingerprint=fingerprint(rule, model.rel,
+                                           _line_text(model, line)))
+
+
+# ---------------------------------------------------------------------------
+# R1
+# ---------------------------------------------------------------------------
+
+def check_r1(model: FileModel, cfg: dict) -> List[Finding]:
+    out: List[Finding] = []
+    if _path_matches(model.rel, cfg.get("r1", {}).get("exempt_paths", [])):
+        return out
+    for op in model.atomic_ops:
+        anns = model.annotations_for_line(op.line)
+        if not op.has_explicit_order:
+            if suppressed(anns, "R1", "seq_cst"):
+                continue
+            out.append(_mk(
+                model, "R1", op.line,
+                f"atomic {op.op}() relies on the defaulted "
+                f"std::memory_order_seq_cst; pass an explicit order or "
+                f"annotate `// catslint: seq_cst(<reason>)`"))
+        elif op.explicit_seq_cst:
+            if suppressed(anns, "R1", "seq_cst"):
+                continue
+            out.append(_mk(
+                model, "R1", op.line,
+                f"atomic {op.op}() uses memory_order_seq_cst without a "
+                f"`// catslint: seq_cst(<reason>)` justification"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# R2
+# ---------------------------------------------------------------------------
+
+def _sccs(nodes: List[str], edges: Dict[str, Set[str]]) -> List[Set[str]]:
+    """Tarjan SCCs (iterative) over the caller graph."""
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    result: List[Set[str]] = []
+    counter = [0]
+
+    for root in nodes:
+        if root in index:
+            continue
+        work = [(root, iter(sorted(edges.get(root, ()))))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            v, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(edges.get(w, ())))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[v] = min(low[v], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[v])
+            if low[v] == index[v]:
+                comp: Set[str] = set()
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.add(w)
+                    if w == v:
+                        break
+                result.append(comp)
+    return result
+
+
+def guard_coverage(model: FileModel) -> Dict[str, bool]:
+    """For every function (by base name): is it proven to run under a
+    guard?  True when the function creates a guard, is annotated
+    under-guard/quiescent, or when every caller-SCC above it is covered.
+
+    Computed on the SCC condensation of the per-TU call graph so mutual
+    recursion neither loops forever nor self-certifies: an SCC with no
+    external callers is covered only if it contains a seed.
+    """
+    funcs: Dict[str, FuncInfo] = {}
+    for f in model.funcs:
+        funcs.setdefault(f.base_name, f)
+    defined = set(funcs)
+
+    seeds: Set[str] = set()
+    for f in model.funcs:
+        directives = {a.directive for a in model.annotations_for_func(f)}
+        if f.creates_guard or "under-guard" in directives or \
+                "quiescent" in directives:
+            seeds.add(f.base_name)
+
+    callees: Dict[str, Set[str]] = {n: set() for n in defined}
+    callers: Dict[str, Set[str]] = {n: set() for n in defined}
+    for f in model.funcs:
+        for callee, _ in f.calls:
+            if callee in defined and callee != f.base_name:
+                callees[f.base_name].add(callee)
+                callers[callee].add(f.base_name)
+
+    comps = _sccs(sorted(defined), callees)
+    comp_of: Dict[str, int] = {}
+    for idx, comp in enumerate(comps):
+        for n in comp:
+            comp_of[n] = idx
+
+    covered: Dict[int, bool] = {}
+
+    def comp_covered(idx: int, visiting: Set[int]) -> bool:
+        if idx in covered:
+            return covered[idx]
+        comp = comps[idx]
+        if comp & seeds:
+            covered[idx] = True
+            return True
+        pred_comps = {comp_of[c] for n in comp for c in callers[n]
+                      if comp_of[c] != idx}
+        if not pred_comps:
+            covered[idx] = False
+            return False
+        visiting.add(idx)
+        ok = all(p not in visiting and comp_covered(p, visiting)
+                 for p in pred_comps)
+        visiting.discard(idx)
+        covered[idx] = ok
+        return ok
+
+    return {n: comp_covered(comp_of[n], set()) for n in defined}
+
+
+def check_r2(model: FileModel, cfg: dict) -> List[Finding]:
+    out: List[Finding] = []
+    r2 = cfg.get("r2", {})
+    if not _path_matches(model.rel, r2.get("paths", [])):
+        return out
+    if _path_matches(model.rel, r2.get("exempt_paths", [])):
+        return out
+    coverage = guard_coverage(model)
+    for f in model.funcs:
+        if not f.shared_load_lines:
+            continue
+        if coverage.get(f.base_name, False):
+            continue
+        line = f.shared_load_lines[0]
+        anns = model.annotations_for_line(line) + \
+            model.annotations_for_func(f)
+        if suppressed(anns, "R2", "under-guard") or \
+                suppressed(anns, "R2", "quiescent"):
+            continue
+        out.append(_mk(
+            model, "R2", line,
+            f"{f.name}() loads a shared atomic pointer but neither it nor "
+            f"every in-TU caller chain holds an EBR Guard/hazard slot; "
+            f"add a guard or annotate the function "
+            f"`// catslint: under-guard` / `// catslint: "
+            f"quiescent(<reason>)`"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# R3
+# ---------------------------------------------------------------------------
+
+def check_r3(model: FileModel, cfg: dict) -> List[Finding]:
+    out: List[Finding] = []
+    r3 = cfg.get("r3", {})
+    if _path_matches(model.rel, r3.get("exempt_paths", [])):
+        return out
+    node_types = set(r3.get("node_types", []))
+    for op in model.delete_ops:
+        if op.in_operator_delete:
+            continue
+        t = op.target_type
+        if op.is_delete_this and op.enclosing_class in node_types:
+            t = op.enclosing_class
+        if t not in node_types:
+            continue
+        anns = model.annotations_for_line(op.line)
+        if suppressed(anns, "R3", "direct-delete"):
+            continue
+        out.append(_mk(
+            model, "R3", op.line,
+            f"direct delete of reclaimable node type `{t}` "
+            f"(`delete {op.target_expr.strip()}`); route it through "
+            f"Domain::retire or annotate "
+            f"`// catslint: direct-delete(<reason>)`"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# R4
+# ---------------------------------------------------------------------------
+
+def check_r4(model: FileModel, cfg: dict) -> List[Finding]:
+    out: List[Finding] = []
+    r4 = cfg.get("r4", {})
+    if not _path_matches(model.rel, r4.get("paths", [])):
+        return out
+    if _path_matches(model.rel, r4.get("exempt_paths", [])):
+        return out
+    entry_points = set(r4.get("entry_points", []))
+
+    funcs: Dict[str, FuncInfo] = {}
+    for f in model.funcs:
+        funcs.setdefault(f.base_name, f)
+    callees: Dict[str, Set[str]] = {}
+    for f in model.funcs:
+        callees.setdefault(f.base_name, set()).update(
+            c for c, _ in f.calls if c in funcs)
+
+    reachable: Set[str] = set()
+    work = [n for n in funcs if n in entry_points]
+    while work:
+        n = work.pop()
+        if n in reachable:
+            continue
+        reachable.add(n)
+        work.extend(callees.get(n, ()))
+
+    for f in model.funcs:
+        if f.base_name not in reachable or not f.blocking:
+            continue
+        for what, line in f.blocking:
+            anns = model.annotations_for_line(line) + \
+                model.annotations_for_func(f)
+            if suppressed(anns, "R4", "blocking-ok"):
+                continue
+            out.append(_mk(
+                model, "R4", line,
+                f"blocking primitive `{what}` in {f.name}(), reachable "
+                f"from lock-free entry points; lock-free operations must "
+                f"not block (annotate `// catslint: blocking-ok(<reason>)` "
+                f"if deliberate)"))
+    return out
+
+
+_CHECKS = {"R1": check_r1, "R2": check_r2, "R3": check_r3, "R4": check_r4}
+
+
+def run_rules(model: FileModel, cfg: dict,
+              enabled: Set[str]) -> List[Finding]:
+    out: List[Finding] = []
+    for rule in ALL_RULES:
+        if rule in enabled:
+            out.extend(_CHECKS[rule](model, cfg))
+    return sorted(out, key=lambda f: (f.file, f.line, f.rule))

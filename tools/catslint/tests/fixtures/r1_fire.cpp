@@ -1,0 +1,14 @@
+// R1 fixture: MUST produce two findings — a defaulted memory order and an
+// unexplained explicit seq_cst.
+#include <atomic>
+#include <cstdint>
+
+std::atomic<std::uint64_t> g_epoch{1};
+
+std::uint64_t defaulted_load() {
+  return g_epoch.load();  // finding: defaulted seq_cst
+}
+
+void unexplained_seq_cst(std::uint64_t v) {
+  g_epoch.store(v, std::memory_order_seq_cst);  // finding: no reason given
+}

@@ -1,0 +1,26 @@
+// R1 fixture: must be clean — every order is explicit, and the one
+// deliberate seq_cst carries its justification.
+#include <atomic>
+#include <cstdint>
+
+std::atomic<std::uint64_t> g_epoch{1};
+std::atomic<int> g_stat{0};
+
+std::uint64_t explicit_load() {
+  return g_epoch.load(std::memory_order_acquire);
+}
+
+void relaxed_stat_bump() {
+  g_stat.fetch_add(1, std::memory_order_relaxed);
+}
+
+void justified_seq_cst(std::uint64_t v) {
+  // catslint: seq_cst(store-load fence against the scan in try_advance)
+  g_epoch.store(v, std::memory_order_seq_cst);
+}
+
+bool explicit_cas(std::uint64_t expected) {
+  return g_epoch.compare_exchange_strong(expected, expected + 1,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+}

@@ -1,0 +1,36 @@
+// R2 call-graph fixture: MUST produce one finding.  The helper loads a
+// shared atomic pointer; one caller holds a Guard but another does not,
+// so the per-TU propagation must NOT certify the helper.
+#include <atomic>
+
+struct Domain {
+  void enter() {}
+  void exit() {}
+  struct Guard {
+    explicit Guard(Domain& d) : d_(d) { d_.enter(); }
+    ~Guard() { d_.exit(); }
+    Domain& d_;
+  };
+};
+
+struct Node {
+  int key;
+  std::atomic<Node*> next{nullptr};
+};
+
+Domain g_domain;
+std::atomic<Node*> root_{nullptr};
+
+int helper() {
+  Node* n = root_.load(std::memory_order_acquire);  // finding
+  return n != nullptr ? n->key : 0;
+}
+
+int guarded_caller() {
+  Domain::Guard guard(g_domain);
+  return helper();
+}
+
+int unguarded_caller() {  // poisons the caller set
+  return helper();
+}

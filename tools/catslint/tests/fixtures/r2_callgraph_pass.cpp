@@ -1,0 +1,41 @@
+// R2 call-graph fixture: must be clean.  The helper has no guard of its
+// own, but every caller chain in the TU — including a mutually recursive
+// pair — bottoms out in a function that creates a Guard.
+#include <atomic>
+
+struct Domain {
+  void enter() {}
+  void exit() {}
+  struct Guard {
+    explicit Guard(Domain& d) : d_(d) { d_.enter(); }
+    ~Guard() { d_.exit(); }
+    Domain& d_;
+  };
+};
+
+struct Node {
+  int key;
+  std::atomic<Node*> next{nullptr};
+};
+
+Domain g_domain;
+std::atomic<Node*> root_{nullptr};
+
+int helper_b(int depth);
+
+int helper_a(int depth) {
+  Node* n = root_.load(std::memory_order_acquire);
+  if (depth > 0) return helper_b(depth - 1);
+  return n != nullptr ? n->key : 0;
+}
+
+int helper_b(int depth) {
+  Node* n = root_.load(std::memory_order_acquire);
+  if (depth > 0) return helper_a(depth - 1);
+  return n != nullptr ? n->key : 0;
+}
+
+int entry() {
+  Domain::Guard guard(g_domain);
+  return helper_a(4);
+}

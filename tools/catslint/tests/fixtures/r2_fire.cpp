@@ -1,0 +1,15 @@
+// R2 fixture: MUST produce one finding — a shared atomic pointer load in
+// a function with no guard, no annotation, and no guarded caller.
+#include <atomic>
+
+struct Node {
+  int key;
+  std::atomic<Node*> next{nullptr};
+};
+
+std::atomic<Node*> root_{nullptr};
+
+int unguarded_read() {
+  Node* n = root_.load(std::memory_order_acquire);  // finding
+  return n != nullptr ? n->key : 0;
+}

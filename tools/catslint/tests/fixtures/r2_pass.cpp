@@ -1,0 +1,39 @@
+// R2 fixture: must be clean — the load happens under a Guard, the helper
+// is annotated under-guard, and teardown is annotated quiescent.
+#include <atomic>
+
+struct Domain {
+  void enter() {}
+  void exit() {}
+  struct Guard {
+    explicit Guard(Domain& d) : d_(d) { d_.enter(); }
+    ~Guard() { d_.exit(); }
+    Domain& d_;
+  };
+};
+
+struct Node {
+  int key;
+  std::atomic<Node*> next{nullptr};
+};
+
+Domain g_domain;
+std::atomic<Node*> root_{nullptr};
+
+// catslint: under-guard
+int helper_annotated() {
+  Node* n = root_.load(std::memory_order_acquire);
+  return n != nullptr ? n->key : 0;
+}
+
+int guarded_read() {
+  Domain::Guard guard(g_domain);
+  Node* n = root_.load(std::memory_order_acquire);
+  return n != nullptr ? n->key : 0;
+}
+
+// catslint: quiescent(destructor-time teardown, no concurrent readers)
+void teardown() {
+  Node* n = root_.load(std::memory_order_relaxed);
+  (void)n;
+}

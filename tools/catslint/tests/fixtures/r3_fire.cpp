@@ -1,0 +1,16 @@
+// R3 fixture: MUST produce two findings — a direct delete of a node type
+// through a local, and one through a cast in an ad-hoc deleter.
+struct Node {
+  int key = 0;
+  Node* left = nullptr;
+};
+
+void unlink_and_free(Node* parent) {
+  Node* victim = parent->left;
+  parent->left = nullptr;
+  delete victim;  // finding: freed while readers may still hold it
+}
+
+void raw_deleter(void* p) {
+  delete static_cast<Node*>(p);  // finding: not a registered domain deleter
+}

@@ -1,0 +1,36 @@
+// R3 fixture: must be clean — retirement goes through the domain, the
+// never-published delete is annotated, and the poisoning operator delete
+// is exempt by construction.
+#include <cstddef>
+
+struct Domain {
+  void retire(void* p, void (*deleter)(void*)) { deleter(p); }
+};
+
+struct Node {
+  int key = 0;
+  Node* left = nullptr;
+  static void operator delete(void* p, std::size_t size) {
+    // poisoning deleter: allowed to free (runs after the grace period)
+    (void)size;
+    ::operator delete(p);
+  }
+};
+
+Domain g_domain;
+
+void node_deleter(void* p) {
+  // catslint: direct-delete(EBR deleter; grace period already elapsed)
+  delete static_cast<Node*>(p);
+}
+
+void unlink_and_retire(Node* parent) {
+  Node* victim = parent->left;
+  parent->left = nullptr;
+  g_domain.retire(victim, &node_deleter);
+}
+
+void failed_publish() {
+  Node* fresh = new Node();
+  delete fresh;  // catslint: direct-delete(never published; CAS lost)
+}

@@ -1,0 +1,17 @@
+// R4 fixture: MUST produce two findings — a mutex and a sleep, both
+// reachable from the lock-free entry point through a helper.
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+std::mutex g_lock;
+
+int slow_helper(int x) {
+  std::lock_guard<std::mutex> hold(g_lock);  // finding: blocking
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // finding
+  return x + 1;
+}
+
+int lf_entry(int x) {  // configured lock-free entry point
+  return slow_helper(x);
+}

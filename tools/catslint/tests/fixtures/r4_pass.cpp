@@ -1,0 +1,31 @@
+// R4 fixture: must be clean — the entry point's closure is non-blocking;
+// a mutex-using function exists but is NOT reachable from the entry
+// point, and a deliberate blocking call is annotated.
+#include <atomic>
+#include <mutex>
+
+std::atomic<int> g_value{0};
+std::mutex g_report_lock;
+
+int fast_helper(int x) {
+  return g_value.fetch_add(x, std::memory_order_relaxed);
+}
+
+int lf_entry(int x) {  // configured lock-free entry point
+  return fast_helper(x);
+}
+
+void report_stats() {  // unreachable from lf_entry: allowed to block
+  std::lock_guard<std::mutex> hold(g_report_lock);
+  g_value.store(0, std::memory_order_relaxed);
+}
+
+int lf_entry_with_annotation(int x) {
+  return x;
+}
+
+int debug_helper(int x) {
+  // catslint: blocking-ok(debug-only dump path, compiled out in release)
+  std::lock_guard<std::mutex> hold(g_report_lock);
+  return x;
+}

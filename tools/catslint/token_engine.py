@@ -1,0 +1,574 @@
+"""Fallback frontend: lowers C++ source to the FileModel via lexical
+analysis (no compiler needed).
+
+Scope and honesty: this engine understands the subset of C++ this repo is
+written in — namespaces, classes with inline members, free/member function
+definitions (templates included), constructor initializer lists, lambdas
+(attributed to the enclosing function).  It resolves delete-target types
+from local declarations, parameters, `new` expressions and casts, and it
+builds a per-file call graph by callee base name.  Anything it cannot
+resolve it leaves unflagged (conservative); the libclang engine, when
+available, resolves those cases with real type information.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import cpptok
+from model import (ATOMIC_OPS, AtomicOp, DeleteOp, FileModel, FuncInfo)
+
+_KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof",
+    "decltype", "catch", "new", "delete", "throw", "case", "do", "else",
+    "static_assert", "alignas", "co_await", "co_return", "co_yield",
+    "assert", "typeid", "goto",
+}
+_POST_PAREN_QUALIFIERS = {"const", "noexcept", "override", "final",
+                          "mutable", "try", "requires"}
+_TYPE_KEYWORDS = {
+    "const", "constexpr", "static", "inline", "typename", "volatile",
+    "unsigned", "signed", "struct", "class", "auto", "register", "extern",
+    "thread_local", "friend", "virtual", "explicit",
+}
+
+
+class _Scanner:
+    def __init__(self, toks: List[cpptok.Token], model: FileModel,
+                 cfg: dict):
+        self.toks = toks
+        self.model = model
+        self.cfg = cfg
+        self.guard_types = set(cfg.get("guard_types", []))
+        self.blocking_ids = set(cfg.get("blocking_identifiers", []))
+        self.shared_fields = set(cfg.get("shared_atomic_fields", []))
+
+    # -- token helpers ----------------------------------------------------
+
+    def match_forward(self, i: int, open_t: str, close_t: str) -> int:
+        """Index of the token matching toks[i] == open_t, or len(toks)."""
+        depth = 0
+        n = len(self.toks)
+        while i < n:
+            t = self.toks[i][1]
+            if t == open_t:
+                depth += 1
+            elif t == close_t:
+                depth -= 1
+                if depth == 0:
+                    return i
+            i += 1
+        return n - 1
+
+    def match_back(self, i: int, close_t: str, open_t: str) -> int:
+        depth = 0
+        while i >= 0:
+            t = self.toks[i][1]
+            if t == close_t:
+                depth += 1
+            elif t == open_t:
+                depth -= 1
+                if depth == 0:
+                    return i
+            i -= 1
+        return 0
+
+    def _skip_template_back(self, i: int) -> int:
+        """Given toks[i] == '>', index before the matching '<'."""
+        depth = 0
+        while i >= 0:
+            t = self.toks[i][1]
+            if t == ">":
+                depth += 1
+            elif t == "<":
+                depth -= 1
+                if depth == 0:
+                    return i - 1
+            i -= 1
+        return -1
+
+    def _name_chain_back(self, i: int) -> Tuple[Optional[str], int]:
+        """Reads a (possibly qualified) name ending at toks[i].
+
+        Returns (qualified_name, index_before_chain).  Handles A::B<T>::f,
+        ~X, and operator <symbol>/new/delete.
+        """
+        parts: List[str] = []
+        while i >= 0:
+            kind, text, _ = self.toks[i]
+            if text == ">":
+                i = self._skip_template_back(i)
+                continue
+            if kind == "id":
+                name = text
+                if i >= 1 and self.toks[i - 1][1] == "~":
+                    name = "~" + name
+                    i -= 1
+                if i >= 1 and self.toks[i - 1][1] == "operator":
+                    # operator delete / operator new as a declared name
+                    name = "operator " + text
+                    i -= 1
+                parts.insert(0, name)
+                i -= 1
+                if i >= 0 and self.toks[i][1] == "::":
+                    i -= 1
+                    continue
+                break
+            break
+        if not parts:
+            return None, i
+        return "::".join(parts), i
+
+    # -- function discovery ------------------------------------------------
+
+    def run(self) -> None:
+        i = 0
+        n = len(self.toks)
+        class_stack: List[str] = []
+        brace_kinds: List[str] = []  # parallel to open braces: ns/class/other
+        while i < n:
+            kind, text, line = self.toks[i]
+            if text == "enum":
+                # skip `enum [class] name [: type] { ... }` entirely
+                j = i + 1
+                while j < n and self.toks[j][1] != "{":
+                    if self.toks[j][1] in {";", "}"}:
+                        break
+                    j += 1
+                if j < n and self.toks[j][1] == "{":
+                    i = self.match_forward(j, "{", "}") + 1
+                else:
+                    i = j + 1
+                continue
+            if text == "{":
+                cls = self._classify_open_brace(i, class_stack)
+                if cls == "func":
+                    i = self._consume_function(i, class_stack)
+                    continue
+                brace_kinds.append(cls)
+                i += 1
+                continue
+            if text == "}":
+                if brace_kinds:
+                    k = brace_kinds.pop()
+                    if k == "class" and class_stack:
+                        class_stack.pop()
+                i += 1
+                continue
+            i += 1
+
+    def _classify_open_brace(self, i: int,
+                             class_stack: List[str]) -> str:
+        """Classifies the '{' at index i: ns | class | func | other.
+
+        Side effect: pushes the class name for 'class'.
+        """
+        j = i - 1
+        if j < 0:
+            return "other"
+        # namespace NAME { / namespace {
+        if self.toks[j][1] == "namespace":
+            return "ns"
+        if self.toks[j][0] == "id" and j >= 1 and \
+                self.toks[j - 1][1] == "namespace":
+            return "ns"
+        # class/struct [attr] NAME [final] [: bases] {
+        k = j
+        steps = 0
+        while k >= 0 and steps < 64:
+            t = self.toks[k][1]
+            if t in {";", "}", "{", ")"}:
+                break
+            if t in {"class", "struct", "union"}:
+                # find the name right after the keyword
+                m = k + 1
+                while m < i and self.toks[m][0] != "id":
+                    m += 1
+                name = self.toks[m][1] if m < i else "<anon>"
+                class_stack.append(name)
+                return "class"
+            k -= 1
+            steps += 1
+        # function body: '{' preceded by ')' modulo qualifiers, trailing
+        # return types and constructor initializer lists.
+        k = j
+        while k >= 0:
+            t = self.toks[k][1]
+            if self.toks[k][0] == "id" and t in _POST_PAREN_QUALIFIERS:
+                k -= 1
+                continue
+            if t == ">":  # e.g. noexcept(...) -> T<...>, requires-clauses
+                k = self._skip_template_back(k)
+                continue
+            if t == ")":
+                open_idx = self.match_back(k, ")", "(")
+                name, _ = self._name_chain_back(open_idx - 1)
+                if name is None:
+                    return "other"
+                base = name.split("::")[-1]
+                if base in _KEYWORDS:
+                    return "other"
+                # constructor initializer-list: walk back over `name(..),`
+                # units to the ':' and re-anchor on the signature's ')'
+                prev = self._ctor_init_anchor(open_idx)
+                if prev is not None:
+                    open_idx = self.match_back(prev, ")", "(")
+                    name, _ = self._name_chain_back(open_idx - 1)
+                    if name is None:
+                        return "other"
+                return "func"
+            if self.toks[k][0] == "id" or t in {"::", "*", "&", "&&"}:
+                # possibly a trailing return type: scan further back for ->
+                m = k
+                steps2 = 0
+                while m >= 0 and steps2 < 32:
+                    tm = self.toks[m][1]
+                    if tm == "->":
+                        k = m - 1
+                        break
+                    if self.toks[m][0] == "id" or tm in {"::", "*", "&",
+                                                         ">", "<", ","}:
+                        m -= 1
+                        steps2 += 1
+                        continue
+                    return "other"
+                else:
+                    return "other"
+                if m < 0 or steps2 >= 32:
+                    return "other"
+                continue
+            return "other"
+        return "other"
+
+    def _ctor_init_anchor(self, open_idx: int) -> Optional[int]:
+        """If toks[open_idx] is the '(' of an init-list member, walks the
+        list back and returns the index of the signature's ')'."""
+        idx = open_idx
+        while True:
+            name, before = self._name_chain_back(idx - 1)
+            if name is None:
+                return None
+            if before < 0:
+                return None
+            sep = self.toks[before][1]
+            if sep == ",":
+                # previous unit: `name(...)` or `name{...}`
+                close = before
+                while close >= 0 and self.toks[close][1] not in {")", "}"}:
+                    close -= 1
+                if close < 0:
+                    return None
+                if self.toks[close][1] == ")":
+                    idx = self.match_back(close, ")", "(")
+                else:
+                    idx = self.match_back(close, "}", "{")
+                continue
+            if sep == ":":
+                prev = before - 1
+                while prev >= 0 and self.toks[prev][0] == "id" and \
+                        self.toks[prev][1] in _POST_PAREN_QUALIFIERS:
+                    prev -= 1
+                if prev >= 0 and self.toks[prev][1] == ")":
+                    return prev
+                return None
+            return None
+
+    # -- function body analysis -------------------------------------------
+
+    def _consume_function(self, brace_idx: int,
+                          class_stack: List[str]) -> int:
+        end_idx = self.match_forward(brace_idx, "{", "}")
+        # Re-derive the name and signature span.
+        k = brace_idx - 1
+        while k >= 0 and self.toks[k][1] != ")":
+            if self.toks[k][1] == ">":
+                k = self._skip_template_back(k)
+                continue
+            k -= 1
+        open_idx = self.match_back(k, ")", "(")
+        anchor = self._ctor_init_anchor(open_idx)
+        if anchor is not None:
+            k = anchor
+            open_idx = self.match_back(k, ")", "(")
+        name, _ = self._name_chain_back(open_idx - 1)
+        qual = name or "<anon>"
+        if class_stack and "::" not in qual:
+            qual = "::".join(class_stack) + "::" + qual
+        base = qual.split("::")[-1]
+        f = FuncInfo(name=qual, base_name=base, file=self.model.rel,
+                     def_line=self.toks[open_idx][2],
+                     end_line=self.toks[end_idx][2])
+        symbols = self._param_types(open_idx, k)
+        # Constructor initializer lists run code too (atomic ops, calls):
+        # start the scan at the signature's ')' when one is present.
+        start = k if anchor is not None else brace_idx
+        self._scan_body(f, start, end_idx, symbols, class_stack)
+        self.model.funcs.append(f)
+        return end_idx + 1
+
+    def _param_types(self, open_idx: int, close_idx: int) -> Dict[str, str]:
+        """name -> pointee type for `T* name`-shaped parameters."""
+        out: Dict[str, str] = {}
+        i = open_idx + 1
+        while i < close_idx:
+            if self.toks[i][1] == "*" and i + 1 < close_idx and \
+                    self.toks[i + 1][0] == "id":
+                # walk back over const/type chain for the last real type id
+                j = i - 1
+                while j > open_idx and self.toks[j][1] == "const":
+                    j -= 1
+                if self.toks[j][1] == ">":
+                    j = self._skip_template_back(j)
+                if j > open_idx and self.toks[j][0] == "id" and \
+                        self.toks[j][1] not in _TYPE_KEYWORDS:
+                    nxt = self.toks[i + 1][1]
+                    if nxt not in _TYPE_KEYWORDS:
+                        out[nxt] = self.toks[j][1]
+            i += 1
+        return out
+
+    def _scan_body(self, f: FuncInfo, start: int, end: int,
+                   symbols: Dict[str, str],
+                   class_stack: List[str]) -> None:
+        i = start + 1
+        while i < end:
+            kind, text, line = self.toks[i]
+            if kind != "id" and text != "delete":
+                i += 1
+                continue
+            nxt = self.toks[i + 1][1] if i + 1 < end else ""
+
+            # delete expressions ------------------------------------------
+            if text == "delete":
+                prev = self.toks[i - 1][1] if i > start else ""
+                if prev == "operator":
+                    i += 1
+                    continue
+                if prev == "=":  # `= delete;`
+                    i += 1
+                    continue
+                i = self._record_delete(f, i, end, symbols, class_stack)
+                continue
+
+            # local declarations: `T* name`, `auto* name = new T`,
+            # `auto* name = static_cast<T*>` ------------------------------
+            if text == "auto" and nxt == "*" and i + 2 < end and \
+                    self.toks[i + 2][0] == "id":
+                var = self.toks[i + 2][1]
+                j = i + 3
+                if j < end and self.toks[j][1] == "=":
+                    t = self._new_or_cast_type(j + 1, end)
+                    if t:
+                        symbols[var] = t
+                i += 3
+                continue
+            if kind == "id" and text not in _TYPE_KEYWORDS and \
+                    text not in _KEYWORDS and nxt == "*" and \
+                    i + 2 < end and self.toks[i + 2][0] == "id" and \
+                    self.toks[i + 2][1] not in _TYPE_KEYWORDS and \
+                    i + 3 < end and self.toks[i + 3][1] in {"=", ";", ","}:
+                symbols[self.toks[i + 2][1]] = text
+                i += 3
+                continue
+
+            # guard creation ----------------------------------------------
+            if text in self.guard_types and i + 1 < end and \
+                    self.toks[i + 1][0] == "id" and i + 2 < end and \
+                    self.toks[i + 2][1] in {"(", "{"}:
+                f.creates_guard = True
+                i += 2
+                continue
+
+            # blocking primitives -----------------------------------------
+            if text in self.blocking_ids:
+                f.blocking.append((text, line))
+                i += 1
+                continue
+
+            # calls -------------------------------------------------------
+            call_paren = -1
+            if nxt == "(" and text not in _KEYWORDS:
+                call_paren = i + 1
+            elif nxt == "<" and text not in _KEYWORDS and \
+                    text not in _TYPE_KEYWORDS:
+                # explicit template arguments: name<...>(  — skip the
+                # balanced angle brackets (bounded, to avoid treating a
+                # less-than comparison as a template)
+                j = i + 1
+                depth = 0
+                steps = 0
+                while j < end and steps < 24:
+                    t = self.toks[j][1]
+                    if t == "<":
+                        depth += 1
+                    elif t == ">":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    elif t in {";", "{", "}"}:
+                        break
+                    j += 1
+                    steps += 1
+                if j < end and self.toks[j][1] == ">" and \
+                        j + 1 < end and self.toks[j + 1][1] == "(":
+                    call_paren = j + 1
+            if call_paren >= 0:
+                prev = self.toks[i - 1][1] if i > start else ""
+                if prev in {".", "->"} and text in ATOMIC_OPS:
+                    i = self._record_atomic(f, i, end)
+                    continue
+                if prev not in {"new", "class", "struct", "enum"}:
+                    f.calls.append((text, line))
+                i += 1
+                continue
+            i += 1
+
+    def _new_or_cast_type(self, i: int, end: int) -> Optional[str]:
+        if i < end and self.toks[i][1] == "new":
+            j = i + 1
+            last = None
+            while j < end and (self.toks[j][0] == "id" or
+                               self.toks[j][1] == "::"):
+                if self.toks[j][0] == "id":
+                    last = self.toks[j][1]
+                j += 1
+            return last
+        if i < end and self.toks[i][1] == "static_cast":
+            # take the outermost type head: last id at template depth 1
+            j = i + 1
+            last = None
+            depth = 0
+            while j < end:
+                t = self.toks[j][1]
+                if t == "<":
+                    depth += 1
+                elif t == ">":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif t == "*":
+                    break
+                elif self.toks[j][0] == "id" and depth == 1 and \
+                        t != "const":
+                    last = t
+                j += 1
+            return last
+        return None
+
+    def _record_delete(self, f: FuncInfo, i: int, end: int,
+                       symbols: Dict[str, str],
+                       class_stack: List[str]) -> int:
+        line = self.toks[i][2]
+        j = i + 1
+        if j < end and self.toks[j][1] == "[":
+            j = self.match_forward(j, "[", "]") + 1
+        target_type: Optional[str] = None
+        is_this = False
+        expr_parts: List[str] = []
+        if j < end and self.toks[j][1] == "this":
+            is_this = True
+            expr_parts.append("this")
+            if class_stack:
+                target_type = class_stack[-1]
+        else:
+            t = self._new_or_cast_type(j, end)
+            if t:
+                target_type = t
+            last_id = None
+            steps = 0
+            while j < end and self.toks[j][1] != ";" and steps < 48:
+                if self.toks[j][0] == "id":
+                    last_id = self.toks[j][1]
+                expr_parts.append(self.toks[j][1])
+                j += 1
+                steps += 1
+            if target_type is None and last_id is not None:
+                target_type = symbols.get(last_id)
+        self.model.delete_ops.append(DeleteOp(
+            file=self.model.rel, line=line, target_type=target_type,
+            target_expr=" ".join(expr_parts[:12]), is_delete_this=is_this,
+            enclosing=f.name,
+            enclosing_class=class_stack[-1] if class_stack else None,
+            in_operator_delete=f.base_name == "operator delete"))
+        return j + 1
+
+    def _record_atomic(self, f: FuncInfo, i: int, end: int) -> int:
+        op = self.toks[i][1]
+        line = self.toks[i][2]
+        receiver = self._receiver_text(i - 2)
+        close = self.match_forward(i + 1, "(", ")")
+        has_order = False
+        seq_cst = False
+        # Only memory_order tokens that are direct arguments of THIS call
+        # count (paren depth 1) — a nested atomic op's order must not
+        # satisfy the outer call.
+        depth = 0
+        j = i + 1
+        while j <= close:
+            t = self.toks[j][1]
+            if t in {"(", "[", "{"}:
+                depth += 1
+            elif t in {")", "]", "}"}:
+                depth -= 1
+            elif depth == 1 and "memory_order" in t:
+                has_order = True
+                if "seq_cst" in t:
+                    seq_cst = True
+                elif t == "memory_order" and j + 2 <= close and \
+                        self.toks[j + 1][1] == "::" and \
+                        self.toks[j + 2][1] == "seq_cst":
+                    seq_cst = True
+            j += 1
+        self.model.atomic_ops.append(AtomicOp(
+            file=self.model.rel, line=line, op=op, receiver=receiver,
+            has_explicit_order=has_order, explicit_seq_cst=seq_cst,
+            enclosing=f.name))
+        if op == "load" and any(fld in receiver.split()
+                                for fld in self.shared_fields):
+            f.shared_load_lines.append(line)
+        # Do not swallow the argument list: nested atomic ops, calls and
+        # deletes inside it must still be scanned.
+        return i + 2
+
+    def _receiver_text(self, i: int) -> str:
+        """Source-ish text of the postfix expression ending at toks[i]."""
+        parts: List[str] = []
+        steps = 0
+        while i >= 0 and steps < 40:
+            t = self.toks[i][1]
+            if t == "]":
+                open_idx = self.match_back(i, "]", "[")
+                parts.insert(0, "[]")
+                i = open_idx - 1
+                steps += 1
+                continue
+            if t == ")":
+                open_idx = self.match_back(i, ")", "(")
+                for k in range(i, open_idx - 1, -1):
+                    parts.insert(0, self.toks[k][1])
+                i = open_idx - 1
+                steps += 1
+                continue
+            if t == ">":
+                j = self._skip_template_back(i)
+                parts.insert(0, "<>")
+                i = j
+                steps += 1
+                continue
+            if self.toks[i][0] == "id" or t in {"::", ".", "->", "*"}:
+                parts.insert(0, t)
+                i -= 1
+                steps += 1
+                continue
+            break
+        return " ".join(parts)
+
+
+def analyze_file(path: str, rel: str, cfg: dict) -> FileModel:
+    defines = {k: int(v) for k, v in cfg.get("defines", {}).items()}
+    raw, annotations, toks = cpptok.lex_file(path, defines)
+    model = FileModel(path=path, rel=rel)
+    model.annotations = annotations
+    model.lines = {i + 1: raw[i] for i in range(len(raw))}
+    _Scanner(toks, model, cfg).run()
+    return model
