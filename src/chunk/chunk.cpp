@@ -5,6 +5,8 @@
 #include <cassert>
 #include <new>
 
+#include "alloc/pool.hpp"
+
 namespace cats::chunk {
 
 namespace {
@@ -30,7 +32,10 @@ std::size_t allocation_bytes(std::uint32_t count) {
 }
 
 Node* allocate(std::uint32_t count) {
-  void* memory = ::operator new(allocation_bytes(count));
+  // Chunk nodes are rebuilt wholesale on every update; route the common
+  // sizes through the slab pool (oversize chunks fall through to the heap
+  // inside pool_alloc).
+  void* memory = alloc::pool_alloc(allocation_bytes(count));
   Node* node = static_cast<Node*>(memory);
   node->rc.store(1, std::memory_order_relaxed);
   node->count = count;
@@ -64,11 +69,11 @@ void decref(const Node* node) noexcept {
              static_cast<const void*>(node));
   if (prev == 1) {
     g_live_nodes.fetch_sub(1, std::memory_order_relaxed);
-#if CATS_CHECKED_ENABLED
-    // Poison-on-free: compute the size before the poison overwrites `count`.
-    check::poison(const_cast<Node*>(node), allocation_bytes(node->count));
-#endif
-    ::operator delete(const_cast<Node*>(node));
+    // Compute the size before the poison overwrites `count`; pool_free
+    // needs it too (the pool's size classes are keyed on it).
+    const std::size_t bytes = allocation_bytes(node->count);
+    CATS_CHECKED_ONLY(check::poison(const_cast<Node*>(node), bytes));
+    alloc::pool_free(const_cast<Node*>(node), bytes);
   }
 }
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <atomic>
+#include <climits>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +23,45 @@ namespace cats::harness {
 /// Only effective in CATS_CHECKED builds — the validator is compiled out
 /// otherwise.
 inline std::atomic<std::uint64_t> g_check_every_n_ops{0};
+
+namespace detail {
+
+// Strict numeric parsers: the whole value must parse (no trailing garbage,
+// no empty string), unlike atoi/atof which silently return 0.
+
+inline bool parse_double(const char* s, double* out) {
+  if (*s == '\0') return false;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+inline bool parse_i64(const char* s, long long* out) {
+  if (*s == '\0') return false;
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+inline bool parse_int(const char* s, int* out) {
+  long long v = 0;
+  if (!parse_i64(s, &v) || v < INT_MIN || v > INT_MAX) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+inline bool parse_u64(const char* s, std::uint64_t* out) {
+  long long v = 0;
+  if (!parse_i64(s, &v) || v < 0) return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+}  // namespace detail
 
 struct Options {
   /// Seconds measured per data point.
@@ -59,29 +99,70 @@ struct Options {
   /// with the diagnostic report.
   std::uint64_t check_every_n_ops = 0;
 
-  static Options parse(int argc, char** argv) {
-    Options opt;
+  /// Parses argv into `opt`.  Returns false (with a one-line message in
+  /// `error`) on the first unknown flag, duplicate flag, malformed numeric
+  /// value or out-of-range value — instead of silently taking the last
+  /// occurrence or atoi's garbage-to-zero parse.  `--help` is reported via
+  /// `help_requested` so the caller owns the exit.  Exposed separately from
+  /// parse() for unit testing (harness_test.cpp).
+  static bool parse_into(int argc, char** argv, Options& opt,
+                         std::string& error, bool* help_requested = nullptr) {
+    std::vector<std::string> seen;
+    if (help_requested != nullptr) *help_requested = false;
+    auto fail = [&](const std::string& msg) {
+      error = msg;
+      return false;
+    };
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
+      const std::size_t eq = arg.find('=');
+      const std::string name = arg.substr(0, eq);
       auto value = [&](const char* prefix) -> const char* {
         return arg.compare(0, std::strlen(prefix), prefix) == 0
                    ? arg.c_str() + std::strlen(prefix)
                    : nullptr;
       };
+      if (arg == "--help" || arg == "-h") {
+        if (help_requested != nullptr) *help_requested = true;
+        return true;
+      }
+      // Every other flag is single-use: a repeated flag is almost always a
+      // stale shell history edit, and silently taking the last value has
+      // burned enough benchmark runs to reject it outright.
+      for (const std::string& s : seen) {
+        if (s == name) return fail("duplicate option: " + name);
+      }
+      seen.push_back(name);
       if (const char* v = value("--duration=")) {
-        opt.duration = std::atof(v);
+        if (!detail::parse_double(v, &opt.duration) || opt.duration <= 0) {
+          return fail("--duration: expected a positive number, got '" +
+                      std::string(v) + "'");
+        }
       } else if (const char* v = value("--runs=")) {
-        opt.runs = std::atoi(v);
+        if (!detail::parse_int(v, &opt.runs) || opt.runs < 1) {
+          return fail("--runs: expected a positive integer, got '" +
+                      std::string(v) + "'");
+        }
       } else if (const char* v = value("--size=")) {
-        opt.size = std::atoll(v);
+        long long size = 0;
+        if (!detail::parse_i64(v, &size) || size < 1) {
+          return fail("--size: expected a positive integer, got '" +
+                      std::string(v) + "'");
+        }
+        opt.size = size;
       } else if (const char* v = value("--threads=")) {
         opt.threads.clear();
         std::string list(v);
         std::size_t pos = 0;
-        while (pos < list.size()) {
+        while (true) {
           const std::size_t comma = list.find(',', pos);
-          opt.threads.push_back(
-              std::atoi(list.substr(pos, comma - pos).c_str()));
+          const std::string item = list.substr(pos, comma - pos);
+          int n = 0;
+          if (!detail::parse_int(item.c_str(), &n) || n < 1) {
+            return fail("--threads: expected positive integers, got '" +
+                        item + "'");
+          }
+          opt.threads.push_back(n);
           if (comma == std::string::npos) break;
           pos = comma + 1;
         }
@@ -90,24 +171,48 @@ struct Options {
       } else if (const char* v = value("--only=")) {
         opt.only = v;
       } else if (const char* v = value("--high-cont=")) {
-        opt.high_cont = std::atoi(v);
+        if (!detail::parse_int(v, &opt.high_cont)) {
+          return fail("--high-cont: expected an integer, got '" +
+                      std::string(v) + "'");
+        }
       } else if (const char* v = value("--low-cont=")) {
-        opt.low_cont = std::atoi(v);
+        if (!detail::parse_int(v, &opt.low_cont)) {
+          return fail("--low-cont: expected an integer, got '" +
+                      std::string(v) + "'");
+        }
       } else if (const char* v = value("--cont-contrib=")) {
-        opt.cont_contrib = std::atoi(v);
+        if (!detail::parse_int(v, &opt.cont_contrib)) {
+          return fail("--cont-contrib: expected an integer, got '" +
+                      std::string(v) + "'");
+        }
       } else if (arg == "--sensitive") {
         opt.high_cont = 0;
         opt.low_cont = -100;
       } else if (const char* v = value("--monitor-interval-ms=")) {
-        opt.monitor_interval_ms = std::atoi(v);
+        if (!detail::parse_int(v, &opt.monitor_interval_ms) ||
+            opt.monitor_interval_ms < 0) {
+          return fail(
+              "--monitor-interval-ms: expected a non-negative integer, "
+              "got '" +
+              std::string(v) + "'");
+        }
       } else if (const char* v = value("--monitor-port=")) {
-        opt.monitor_port = std::atoi(v);
+        if (!detail::parse_int(v, &opt.monitor_port) ||
+            opt.monitor_port < -1 || opt.monitor_port > 65535) {
+          return fail("--monitor-port: expected -1..65535, got '" +
+                      std::string(v) + "'");
+        }
       } else if (const char* v = value("--metrics-out=")) {
         opt.metrics_out = v;
       } else if (const char* v = value("--series-out=")) {
         opt.series_out = v;
       } else if (const char* v = value("--check-every-n-ops=")) {
-        opt.check_every_n_ops = std::strtoull(v, nullptr, 10);
+        if (!detail::parse_u64(v, &opt.check_every_n_ops)) {
+          return fail(
+              "--check-every-n-ops: expected a non-negative integer, "
+              "got '" +
+              std::string(v) + "'");
+        }
         g_check_every_n_ops.store(opt.check_every_n_ops,
                                   std::memory_order_relaxed);
         if (!check::kCheckedEnabled && opt.check_every_n_ops != 0) {
@@ -122,18 +227,29 @@ struct Options {
         opt.duration = 10.0;
         opt.runs = 3;
         opt.threads = {1, 2, 4, 8, 16, 32, 64, 128};
-      } else if (arg == "--help" || arg == "-h") {
-        std::printf(
-            "options: --duration=SEC --runs=N --size=S --threads=a,b,c "
-            "--csv --only=NAME --paper --sensitive --high-cont=X "
-            "--low-cont=X --cont-contrib=X --monitor-interval-ms=MS "
-            "--monitor-port=P --metrics-out=FILE --series-out=FILE "
-            "--check-every-n-ops=N\n");
-        std::exit(0);
       } else {
-        std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-        std::exit(2);
+        return fail("unknown option: " + arg);
       }
+    }
+    return true;
+  }
+
+  static Options parse(int argc, char** argv) {
+    Options opt;
+    std::string error;
+    bool help = false;
+    if (!parse_into(argc, argv, opt, error, &help)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      std::exit(2);
+    }
+    if (help) {
+      std::printf(
+          "options: --duration=SEC --runs=N --size=S --threads=a,b,c "
+          "--csv --only=NAME --paper --sensitive --high-cont=X "
+          "--low-cont=X --cont-contrib=X --monitor-interval-ms=MS "
+          "--monitor-port=P --metrics-out=FILE --series-out=FILE "
+          "--check-every-n-ops=N\n");
+      std::exit(0);
     }
     return opt;
   }

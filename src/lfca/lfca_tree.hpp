@@ -28,6 +28,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -118,6 +119,16 @@ class BasicLfcaTree {
   Stats stats() const;
   /// Resets the operation counters (not the tree).
   void reset_stats();
+
+  /// Test-only instrumentation: when set, all_in_range invokes it at its
+  /// two decision points — phase 0 after the initial descent of a find_first
+  /// attempt, phase 1 after each advance step finds its next candidate base
+  /// node (before this query tries to replace it).  Regression tests use it
+  /// to drive concurrent mutations into exact points of the retry protocol
+  /// (see lfca_test.cpp); the hook may re-enter the tree, including nested
+  /// range queries.  Must only be set in quiescence and cleared before the
+  /// tree is destroyed.  Empty (zero-cost check) in normal operation.
+  std::function<void(int)> testing_range_step_hook;
 
   const Config& config() const { return config_; }
   reclaim::Domain& domain() const { return domain_; }

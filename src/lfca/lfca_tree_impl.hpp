@@ -30,6 +30,7 @@
 #include "check/tree_check.hpp"
 #include "common/rng.hpp"
 #include "lfca/lfca_tree.hpp"
+#include "lfca/scratch.hpp"
 #include "obs/registry.hpp"
 
 namespace cats::lfca {
@@ -567,6 +568,16 @@ void BasicLfcaTree<C>::complete_join(Node* m) {
 // Finds the parent of route node r by searching from the root (the paper's
 // parent_of).  Returns null when r is the root and not_found() when r is no
 // longer reachable.
+//
+// Liveness audit (this PR): not_found() is terminal for the join attempt,
+// never retried against the same node.  The only caller is secure_join,
+// which aborts the join (fail1/fail0 stores) on not_found(); its own caller
+// low_contention_adaptation makes at most two secure_join attempts (left
+// then right neighbor) and returns.  A route node invalidated by a helped
+// join therefore costs the next adaptation one aborted attempt — the next
+// operation re-descends from the root and reaches only live route nodes, so
+// no loop can spin on a permanently-invalid parent.  The join-after-join
+// test in lfca_test.cpp pins this down deterministically.
 template <class C>
 typename BasicLfcaTree<C>::Node* BasicLfcaTree<C>::parent_of(Node* r) const {
   Node* prev = nullptr;
@@ -639,9 +650,12 @@ void BasicLfcaTree<C>::count_range_query(std::size_t bases_traversed) const {
 template <class C>
 const typename C::Node* BasicLfcaTree<C>::all_in_range(
     Key lo, Key hi, ResultStorage* help_s) {
-  std::vector<Node*> stack;
-  std::vector<Node*> backup;
-  std::vector<Node*> done;
+  // Thread-local scratch (scratch.hpp): the lease is recursion-safe, which
+  // matters because the help-wider-query path below re-enters all_in_range.
+  detail::ScratchLease<C> scratch;
+  std::vector<Node*>& stack = scratch->stack;
+  std::vector<Node*>& backup = scratch->backup;
+  std::vector<Node*>& done = scratch->done;
   ResultStorage* my_s = nullptr;
   Node* b = nullptr;
 
@@ -649,6 +663,7 @@ const typename C::Node* BasicLfcaTree<C>::all_in_range(
   while (true) {
     stack.clear();
     b = find_base_stack(lo, stack);
+    if (testing_range_step_hook) testing_range_step_hook(0);
     if (help_s != nullptr) {
       if (b->type != NodeType::kRange || b->storage != help_s) {
         // The helped query has linearized (its first base node would still
@@ -672,7 +687,11 @@ const typename C::Node* BasicLfcaTree<C>::all_in_range(
     }
     if (b->type == NodeType::kRange && b->hi >= hi) {
       // A wider in-flight range query covers ours: help it and use its
-      // result (line 179).
+      // result (line 179).  Ownership audit: my_s can only be non-null here
+      // after a lost CAS above, whose `delete n` already dropped the
+      // reference the marker held, so the creation reference released here
+      // is the last one and the storage is freed — never leaked, never
+      // double-released.
       if (my_s != nullptr) my_s->release();  // ours was never installed
       return all_in_range(b->lo, b->hi, b->storage);
     }
@@ -680,6 +699,16 @@ const typename C::Node* BasicLfcaTree<C>::all_in_range(
   }
 
   // Find the remaining base nodes (lines 184-207).
+  //
+  // Retry bookkeeping, audited for this PR: find_next_base_stack consumes
+  // `stack` destructively (it pops at least the current base), so `backup`
+  // preserves the pre-advance stack.  Both not-advanced exits of the inner
+  // loop — the lost CAS and the help_if_needed detour — restore it with
+  // `stack = backup` before retrying, and the copy is taken again after
+  // every successful advance.  The copy is NOT dead, and dropping either
+  // restore would make the retry resume from a half-popped stack and skip
+  // base nodes.  The regression tests in lfca_test.cpp drive each of these
+  // paths deterministically through testing_range_step_hook.
   while (true) {
     done.push_back(b);
     backup = stack;
@@ -688,6 +717,7 @@ const typename C::Node* BasicLfcaTree<C>::all_in_range(
     while (!advanced) {
       b = find_next_base_stack(stack);
       if (b == nullptr) break;
+      if (testing_range_step_hook) testing_range_step_hook(1);
       const typename C::Node* result =
           my_s->result.load(std::memory_order_acquire);
       if (result != detail::not_set<C>()) {
@@ -749,7 +779,8 @@ const typename C::Node* BasicLfcaTree<C>::all_in_range(
 template <class C>
 bool BasicLfcaTree<C>::try_optimistic_collect(
     Key lo, Key hi, std::vector<Node*>& bases) const {
-  std::vector<Node*> stack;
+  detail::ScratchLease<C> scratch;  // nested under range_query's own lease
+  std::vector<Node*>& stack = scratch->stack;
   Node* b = find_base_stack(lo, stack);
   while (true) {
     if (!is_replaceable(b)) return false;
@@ -766,8 +797,9 @@ void BasicLfcaTree<C>::range_query(Key lo, Key hi, ItemVisitor visit) const {
   reclaim::Domain::Guard guard(domain_);
 
   if (config_.optimistic_ranges) {
-    std::vector<Node*> scan1;
-    std::vector<Node*> scan2;
+    detail::ScratchLease<C> scratch;
+    std::vector<Node*>& scan1 = scratch->scan1;
+    std::vector<Node*>& scan2 = scratch->scan2;
     if (try_optimistic_collect(lo, hi, scan1) &&
         try_optimistic_collect(lo, hi, scan2) && scan1 == scan2) {
       // Identical consecutive collects of immutable-content nodes: some

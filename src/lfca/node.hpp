@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <new>
 
+#include "alloc/pool.hpp"
 #include "check/check.hpp"
 #include "common/types.hpp"
 
@@ -64,6 +65,15 @@ struct ResultStorage {
   ~ResultStorage() {
     const typename C::Node* r = result.load(std::memory_order_relaxed);
     if (is_real_result<C>(r)) C::decref(r);
+  }
+
+  // Pool-backed storage: range queries allocate one of these per query, on
+  // the hot path of every scan.
+  static void* operator new(std::size_t size) {
+    return alloc::pool_alloc(size);
+  }
+  static void operator delete(void* p, std::size_t size) {
+    alloc::pool_free(p, size);
   }
 
   void add_ref() { rc.fetch_add(1, std::memory_order_relaxed); }
@@ -123,17 +133,28 @@ struct Node {
   /// the storage is freed.  Written by at most one thread per transition;
   /// validators read it relaxed.
   check::Canary check_canary{check::kCanaryAlive};
-
-  /// Poison-on-free: runs after the destructor, while the storage is still
-  /// owned, so a dangling reader races against poison instead of against
-  /// allocator reuse.  Safe under EBR quiescence — the node is only freed
-  /// two epochs after its unlink, when no guard that could have observed it
-  /// remains (direct deletes of never-published nodes are trivially safe).
-  static void operator delete(void* p, std::size_t size) {
-    check::poison(p, size);
-    ::operator delete(p);
-  }
 #endif
+
+  /// Pool-backed storage: every update allocates a base node and every
+  /// adaptation a route/join node, so these go through the slab pool.  EBR
+  /// deleters land here too (they run `delete node`), which is how
+  /// grace-period expiry returns nodes to the owning pool.
+  static void* operator new(std::size_t size) {
+    return alloc::pool_alloc(size);
+  }
+
+  /// Poison-on-free (CATS_CHECKED): runs after the destructor, while the
+  /// storage is still owned, so a dangling reader races against poison
+  /// instead of against allocator reuse.  Safe under EBR quiescence — the
+  /// node is only freed two epochs after its unlink, when no guard that
+  /// could have observed it remains (direct deletes of never-published
+  /// nodes are trivially safe).  The pool's free-list link overwrites only
+  /// the first word, past which the poison and the dead canary survive
+  /// while the block sits in a cache.
+  static void operator delete(void* p, std::size_t size) {
+    CATS_CHECKED_ONLY(check::poison(p, size));
+    alloc::pool_free(p, size);
+  }
 
   explicit Node(NodeType t) : type(t) {}
   Node(const Node&) = delete;

@@ -1,0 +1,82 @@
+// Per-thread scratch vectors for range queries.
+//
+// all_in_range keeps three route-node stacks (descent stack, its retry
+// backup and the collected base nodes) and the optimistic fast path keeps
+// two more for its double collect.  Allocating those five std::vectors per
+// query was a measurable slice of range-query cost; instead each thread
+// keeps a small pool of scratch frames whose vectors retain their capacity
+// across queries, so a warmed-up thread performs range queries without
+// touching the allocator at all.
+//
+// Frames are handed out through an RAII lease with a depth counter because
+// range queries re-enter: helping a wider in-flight query recurses into
+// all_in_range, and the test hooks can nest whole queries.  Each activation
+// gets its own frame; the per-thread pool grows to the deepest nesting ever
+// seen (a handful of frames) and is freed at thread exit.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "lfca/node.hpp"
+
+namespace cats::lfca::detail {
+
+/// The reusable vectors of one range-query activation.
+template <class C>
+struct RangeScratch {
+  std::vector<Node<C>*> stack;
+  std::vector<Node<C>*> backup;
+  std::vector<Node<C>*> done;
+  std::vector<Node<C>*> scan1;
+  std::vector<Node<C>*> scan2;
+
+  void reset() {
+    stack.clear();
+    backup.clear();
+    done.clear();
+    scan1.clear();
+    scan2.clear();
+  }
+
+  RangeScratch() = default;
+  RangeScratch(const RangeScratch&) = delete;
+  RangeScratch& operator=(const RangeScratch&) = delete;
+};
+
+/// RAII lease of a per-thread scratch frame; recursion-safe (nested leases
+/// get distinct frames).
+template <class C>
+class ScratchLease {
+ public:
+  ScratchLease() {
+    Pool& pool = tls();
+    if (pool.depth == pool.frames.size()) {
+      pool.frames.push_back(std::make_unique<RangeScratch<C>>());
+    }
+    frame_ = pool.frames[pool.depth++].get();
+    frame_->reset();
+  }
+  ~ScratchLease() { --tls().depth; }
+
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+
+  RangeScratch<C>& operator*() const { return *frame_; }
+  RangeScratch<C>* operator->() const { return frame_; }
+
+ private:
+  struct Pool {
+    std::vector<std::unique_ptr<RangeScratch<C>>> frames;
+    std::size_t depth = 0;
+  };
+  static Pool& tls() {
+    thread_local Pool pool;
+    return pool;
+  }
+
+  RangeScratch<C>* frame_;
+};
+
+}  // namespace cats::lfca::detail

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <ostream>
 
+#include "alloc/pool.hpp"
 #include "obs/registry.hpp"
 
 namespace cats::obs {
@@ -33,6 +34,28 @@ Snapshot global_snapshot() {
       "treap_live_nodes",
       static_cast<double>(values.counter(GCounter::kTreapNodeAllocs)) -
           static_cast<double>(values.counter(GCounter::kTreapNodeFrees)));
+  // Node-pool occupancy and hit rate (src/alloc).  The pool keeps its own
+  // sharded counters rather than obs ones — its fast path is the very cost
+  // this repo measures — so they surface here as gauges.  All zero when the
+  // pool is compiled out (CATS_POOL=OFF).
+  {
+    const alloc::PoolStats pool = alloc::pool_stats();
+    snap.add_gauge("pool_enabled", pool.enabled ? 1.0 : 0.0);
+    snap.add_gauge("pool_alloc_fast", static_cast<double>(pool.alloc_fast));
+    snap.add_gauge("pool_alloc_transfer",
+                   static_cast<double>(pool.alloc_transfer));
+    snap.add_gauge("pool_alloc_slab", static_cast<double>(pool.alloc_slab));
+    snap.add_gauge("pool_alloc_fallback",
+                   static_cast<double>(pool.alloc_fallback));
+    snap.add_gauge("pool_transfer_push",
+                   static_cast<double>(pool.transfer_push));
+    snap.add_gauge("pool_overflow_push",
+                   static_cast<double>(pool.overflow_push));
+    snap.add_gauge("pool_cached_blocks",
+                   static_cast<double>(pool.cached_blocks));
+    snap.add_gauge("pool_slab_bytes", static_cast<double>(pool.slab_bytes));
+    snap.add_gauge("pool_hit_rate", pool.hit_rate());
+  }
   for (std::size_t i = 0; i < static_cast<std::size_t>(GHistogram::kCount);
        ++i) {
     const auto h = static_cast<GHistogram>(i);

@@ -6,6 +6,7 @@
 #include <cstdarg>
 #include <cstdlib>
 
+#include "alloc/pool.hpp"
 #include "obs/registry.hpp"
 
 namespace cats::treap {
@@ -40,14 +41,23 @@ struct Node {
   /// Canary header: treap nodes are purely refcounted (never retired), so
   /// the states are Alive -> poison; incref/decref verify Alive.
   check::Canary check_canary{check::kCanaryAlive};
-
-  /// Poison-on-free (after the destructor, before deallocation): a stale
-  /// pointer from a refcount bug reads 0xEF..EF instead of plausible data.
-  static void operator delete(void* p, std::size_t size) {
-    check::poison(p, size);
-    ::operator delete(p);
-  }
 #endif
+
+  /// Pool-backed storage: path copying allocates O(height) nodes per
+  /// update, the dominant allocation cost of the whole tree (paper §7's
+  /// immutable fat leaves; the JVM amortizes this in the GC nursery).
+  static void* operator new(std::size_t size) {
+    return alloc::pool_alloc(size);
+  }
+
+  /// Poison-on-free under CATS_CHECKED (after the destructor, before the
+  /// block re-enters the pool): a stale pointer from a refcount bug reads
+  /// 0xEF..EF instead of plausible data — the free-list link clobbers only
+  /// the first word (`rc`), not the canary.
+  static void operator delete(void* p, std::size_t size) {
+    CATS_CHECKED_ONLY(check::poison(p, size));
+    alloc::pool_free(p, size);
+  }
 
   Node(std::uint64_t size_, Key min_, Key max_, std::uint8_t height_,
        bool is_leaf_)
@@ -193,71 +203,107 @@ const Node* join_nodes(const Node* l, const Node* r) {
   return mk_inner(l, r);
 }
 
-const Node* insert_rec(const Node* n, Key key, Value value, bool* replaced) {
-  if (n->is_leaf) {
-    const Leaf* leaf = as_leaf(n);
-    const Item* end = leaf->items + leaf->count;
-    const Item* pos = std::lower_bound(
-        leaf->items, end, key,
-        [](const Item& item, Key k) { return item.key < k; });
-    Item buffer[kLeafCapacity + 1];
-    const auto prefix = static_cast<std::uint32_t>(pos - leaf->items);
-    std::copy_n(leaf->items, prefix, buffer);
-    buffer[prefix] = Item{key, value};
-    if (pos != end && pos->key == key) {
-      *replaced = true;
-      std::copy(pos + 1, end, buffer + prefix + 1);
-      return make_leaf(buffer, leaf->count);
+// --- iterative path-copy builders for insert/remove ------------------------
+//
+// Updates copy the root-to-leaf path.  A recursive builder pays a call
+// frame per level and, for an absent-key remove, an incref/decref pair per
+// level on the way back up.  Instead the descent records the path in a
+// fixed stack buffer, the leaf is rewritten, and the copy is built bottom
+// up — and an absent key is answered with a single incref of the original
+// root.  `height` is a uint8_t, so 256 entries always suffice (an AVL tree
+// of height 255 would need more nodes than any machine holds).
+
+constexpr std::size_t kMaxPath = 256;
+
+struct PathEntry {
+  const Inner* node;
+  bool went_left;
+};
+
+/// Rebuilds the path copy bottom-up.  `sub` is the owned replacement for
+/// the deepest subtree (null = became empty); siblings are increffed as
+/// they are grafted.  Returns the owned new root.
+const Node* rebuild_path(const PathEntry* path, std::size_t depth,
+                         const Node* sub) {
+  while (depth > 0) {
+    const PathEntry& e = path[--depth];
+    if (sub == nullptr) {
+      sub = incref_ret(e.went_left ? e.node->right : e.node->left);
+    } else if (e.went_left) {
+      sub = bal(sub, incref_ret(e.node->right));
+    } else {
+      sub = bal(incref_ret(e.node->left), sub);
     }
-    std::copy(pos, end, buffer + prefix + 1);
-    return build_from_items(buffer, leaf->count + 1);
   }
-  const Inner* in = as_inner(n);
-  if (key < in->right->min_key) {
-    const Node* nl = insert_rec(in->left, key, value, replaced);
-    return bal(nl, incref_ret(in->right));
-  }
-  const Node* nr = insert_rec(in->right, key, value, replaced);
-  return bal(incref_ret(in->left), nr);
+  return sub;
 }
 
-/// Returns the new subtree (owned, possibly null) after removing `key`.
-const Node* remove_rec(const Node* n, Key key, bool* removed) {
-  if (n->is_leaf) {
-    const Leaf* leaf = as_leaf(n);
-    const Item* end = leaf->items + leaf->count;
-    const Item* pos = std::lower_bound(
-        leaf->items, end, key,
-        [](const Item& item, Key k) { return item.key < k; });
-    if (pos == end || pos->key != key) return incref_ret(n);
-    *removed = true;
-    if (leaf->count == 1) return nullptr;
+const Node* insert_iter(const Node* tree, Key key, Value value,
+                        bool* replaced) {
+  PathEntry path[kMaxPath];
+  std::size_t depth = 0;
+  const Node* n = tree;
+  while (!n->is_leaf) {
+    const Inner* in = as_inner(n);
+    const bool left = key < in->right->min_key;
+    path[depth++] = {in, left};
+    n = left ? in->left : in->right;
+  }
+  const Leaf* leaf = as_leaf(n);
+  const Item* end = leaf->items + leaf->count;
+  const Item* pos = std::lower_bound(
+      leaf->items, end, key,
+      [](const Item& item, Key k) { return item.key < k; });
+  Item buffer[kLeafCapacity + 1];
+  const auto prefix = static_cast<std::uint32_t>(pos - leaf->items);
+  std::copy_n(leaf->items, prefix, buffer);
+  buffer[prefix] = Item{key, value};
+  const Node* sub;
+  if (pos != end && pos->key == key) {
+    *replaced = true;
+    std::copy(pos + 1, end, buffer + prefix + 1);
+    sub = make_leaf(buffer, leaf->count);
+  } else {
+    std::copy(pos, end, buffer + prefix + 1);
+    sub = build_from_items(buffer, leaf->count + 1);
+  }
+  return rebuild_path(path, depth, sub);
+}
+
+/// Returns the new tree (owned, possibly null) after removing `key`; an
+/// absent key returns the original tree with one fresh reference.
+const Node* remove_iter(const Node* tree, Key key, bool* removed) {
+  PathEntry path[kMaxPath];
+  std::size_t depth = 0;
+  const Node* n = tree;
+  while (!n->is_leaf) {
+    const Inner* in = as_inner(n);
+    if (key <= in->left->max_key) {
+      path[depth++] = {in, true};
+      n = in->left;
+    } else if (key >= in->right->min_key) {
+      path[depth++] = {in, false};
+      n = in->right;
+    } else {
+      return incref_ret(tree);  // key falls in the gap between subtrees
+    }
+  }
+  const Leaf* leaf = as_leaf(n);
+  const Item* end = leaf->items + leaf->count;
+  const Item* pos = std::lower_bound(
+      leaf->items, end, key,
+      [](const Item& item, Key k) { return item.key < k; });
+  if (pos == end || pos->key != key) return incref_ret(tree);
+  *removed = true;
+  const Node* sub = nullptr;
+  if (leaf->count > 1) {
     Item buffer[kLeafCapacity];
     const auto prefix = static_cast<std::uint32_t>(pos - leaf->items);
     std::copy_n(leaf->items, prefix, buffer);
     std::copy(pos + 1, end, buffer + prefix);
-    return make_leaf(buffer, leaf->count - 1);
+    sub = make_leaf(buffer, leaf->count - 1);
   }
-  const Inner* in = as_inner(n);
-  if (key <= in->left->max_key) {
-    const Node* nl = remove_rec(in->left, key, removed);
-    if (!*removed) {
-      detail::decref(nl);
-      return incref_ret(n);
-    }
-    if (nl == nullptr) return incref_ret(in->right);
-    return bal(nl, incref_ret(in->right));
-  }
-  if (key >= in->right->min_key) {
-    const Node* nr = remove_rec(in->right, key, removed);
-    if (!*removed) {
-      detail::decref(nr);
-      return incref_ret(n);
-    }
-    if (nr == nullptr) return incref_ret(in->left);
-    return bal(incref_ret(in->left), nr);
-  }
-  return incref_ret(n);  // key falls in the gap between subtrees: absent
+  return rebuild_path(path, depth, sub);
 }
 
 /// Splits into (< key, >= key); outputs owned, possibly null.
@@ -418,7 +464,7 @@ Ref insert(const Node* tree, Key key, Value value, bool* replaced_out) {
     const Item item{key, value};
     result = make_leaf(&item, 1);
   } else {
-    result = insert_rec(tree, key, value, &replaced);
+    result = insert_iter(tree, key, value, &replaced);
   }
   if (replaced_out != nullptr) *replaced_out = replaced;
   return Ref::adopt(result);
@@ -427,7 +473,7 @@ Ref insert(const Node* tree, Key key, Value value, bool* replaced_out) {
 Ref remove(const Node* tree, Key key, bool* removed_out) {
   bool removed = false;
   const Node* result =
-      tree == nullptr ? nullptr : remove_rec(tree, key, &removed);
+      tree == nullptr ? nullptr : remove_iter(tree, key, &removed);
   if (removed_out != nullptr) *removed_out = removed;
   return Ref::adopt(result);
 }

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "alloc/pool.hpp"
 #include "check/check.hpp"
 #include "chunk/chunk.hpp"
 #include "harness/cli.hpp"
@@ -228,6 +229,29 @@ TEST(TreapValidatorDeath, IncrefOfCorruptCanaryAborts) {
         cats::treap::Ref copy = tree;  // incref hits the canary check
       },
       "treap node \\(incref\\) touched while its canary is");
+}
+
+TEST(PoolPoisonDeath, UseAfterFreeOfPooledNodeHitsPoison) {
+  // Pool-owned memory is never returned to the OS: a freed node's storage
+  // sits poisoned in a free list instead of being unmapped.  That makes
+  // the poison *observable* — a stale pointer dereferenced after the free
+  // must die on the canary check with a "freed (poison)" diagnosis rather
+  // than segfault or silently read recycled bytes.  (With the pool
+  // compiled out the same access is a genuine use-after-free that ASan,
+  // not the canary, is responsible for catching.)
+  if (!cats::alloc::kPoolEnabled) {
+    GTEST_SKIP() << "pool compiled out: storage is unmapped, not poisoned";
+  }
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        cats::treap::Ref tree = cats::treap::insert(nullptr, 1, 2);
+        const cats::treap::Node* stale = tree.get();
+        tree = cats::treap::Ref();  // last ref: poison, then back to pool
+        cats::treap::detail::incref(stale);
+      },
+      "treap node \\(incref\\) touched while its canary is freed "
+      "\\(poison\\)");
 }
 
 // --- Retired-pointer registry / reclamation checker. -----------------------

@@ -3,6 +3,10 @@
 // statistic (average items traversed per range query).
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
+#include "harness/cli.hpp"
 #include "harness/runner.hpp"
 #include "harness/workload.hpp"
 #include "imtr/imtr_set.hpp"
@@ -113,6 +117,142 @@ TEST(Runner, FixedRangeSizesAreExact) {
   ASSERT_GT(r.range_queries, 0u);
   // Every query spans exactly 64 keys, all present.
   EXPECT_DOUBLE_EQ(r.items_per_range_query(), 64.0);
+}
+
+// --- Command-line parsing (Options::parse_into). -----------------------------
+//
+// parse() exits the process on error, so the tests drive the underlying
+// parse_into(), which reports through a (success, message) pair instead.
+
+struct ParseResult {
+  bool ok = false;
+  bool help = false;
+  std::string error;
+  Options opt;
+};
+
+ParseResult parse_args(std::vector<std::string> args) {
+  ParseResult r;
+  std::vector<char*> argv;
+  std::string prog = "bench";
+  argv.push_back(prog.data());
+  for (std::string& a : args) argv.push_back(a.data());
+  r.ok = Options::parse_into(static_cast<int>(argv.size()), argv.data(),
+                             r.opt, r.error, &r.help);
+  return r;
+}
+
+TEST(Cli, DefaultsWhenNoArgs) {
+  const ParseResult r = parse_args({});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.help);
+  EXPECT_DOUBLE_EQ(r.opt.duration, 0.25);
+  EXPECT_EQ(r.opt.runs, 1);
+  EXPECT_EQ(r.opt.size, 100'000);
+  EXPECT_EQ(r.opt.threads, (std::vector<int>{1, 2, 4, 8}));
+  EXPECT_FALSE(r.opt.csv);
+}
+
+TEST(Cli, ParsesEveryFlag) {
+  const ParseResult r = parse_args(
+      {"--duration=1.5", "--runs=3", "--size=4096", "--threads=1,16,128",
+       "--csv", "--only=lfca", "--high-cont=7", "--low-cont=-7",
+       "--cont-contrib=42", "--monitor-interval-ms=10", "--monitor-port=0",
+       "--metrics-out=m.json", "--series-out=s.csv",
+       "--check-every-n-ops=1000"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_DOUBLE_EQ(r.opt.duration, 1.5);
+  EXPECT_EQ(r.opt.runs, 3);
+  EXPECT_EQ(r.opt.size, 4096);
+  EXPECT_EQ(r.opt.threads, (std::vector<int>{1, 16, 128}));
+  EXPECT_TRUE(r.opt.csv);
+  EXPECT_EQ(r.opt.only, "lfca");
+  EXPECT_EQ(r.opt.high_cont, 7);
+  EXPECT_EQ(r.opt.low_cont, -7);
+  EXPECT_EQ(r.opt.cont_contrib, 42);
+  EXPECT_EQ(r.opt.monitor_interval_ms, 10);
+  EXPECT_EQ(r.opt.monitor_port, 0);
+  EXPECT_EQ(r.opt.metrics_out, "m.json");
+  EXPECT_EQ(r.opt.series_out, "s.csv");
+  EXPECT_EQ(r.opt.check_every_n_ops, 1000u);
+  g_check_every_n_ops.store(0);  // don't leak state into other tests
+}
+
+TEST(Cli, RejectsDuplicateFlags) {
+  const ParseResult r = parse_args({"--runs=2", "--runs=3"});
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "duplicate option: --runs");
+  // Also when the values differ only syntactically, and for value-less
+  // flags.
+  EXPECT_FALSE(parse_args({"--csv", "--csv"}).ok);
+  EXPECT_FALSE(parse_args({"--threads=1", "--threads=1"}).ok);
+}
+
+TEST(Cli, RejectsMalformedNumbers) {
+  // atoi-style silent garbage-to-zero parses must be errors instead.
+  EXPECT_FALSE(parse_args({"--duration=abc"}).ok);
+  EXPECT_FALSE(parse_args({"--duration=1.5x"}).ok);
+  EXPECT_FALSE(parse_args({"--duration="}).ok);
+  EXPECT_FALSE(parse_args({"--duration=0"}).ok);    // must be positive
+  EXPECT_FALSE(parse_args({"--duration=-1"}).ok);
+  EXPECT_FALSE(parse_args({"--runs=0"}).ok);
+  EXPECT_FALSE(parse_args({"--runs=two"}).ok);
+  EXPECT_FALSE(parse_args({"--size=0"}).ok);
+  EXPECT_FALSE(parse_args({"--size=12tb"}).ok);
+  EXPECT_FALSE(parse_args({"--monitor-interval-ms=-1"}).ok);
+  EXPECT_FALSE(parse_args({"--monitor-port=65536"}).ok);
+  EXPECT_FALSE(parse_args({"--monitor-port=-2"}).ok);
+  EXPECT_FALSE(parse_args({"--check-every-n-ops=-5"}).ok);
+  EXPECT_FALSE(parse_args({"--runs=99999999999999999999"}).ok);  // overflow
+  const ParseResult r = parse_args({"--runs=1.5"});
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("--runs"), std::string::npos);
+  EXPECT_NE(r.error.find("1.5"), std::string::npos);
+}
+
+TEST(Cli, RejectsBadThreadLists) {
+  EXPECT_FALSE(parse_args({"--threads="}).ok);
+  EXPECT_FALSE(parse_args({"--threads=1,,4"}).ok);
+  EXPECT_FALSE(parse_args({"--threads=1,2,"}).ok);
+  EXPECT_FALSE(parse_args({"--threads=0"}).ok);
+  EXPECT_FALSE(parse_args({"--threads=1,-2"}).ok);
+  EXPECT_FALSE(parse_args({"--threads=1;2"}).ok);
+  const ParseResult r = parse_args({"--threads=4"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.opt.threads, (std::vector<int>{4}));
+}
+
+TEST(Cli, RejectsUnknownFlags) {
+  const ParseResult r = parse_args({"--frobnicate=9"});
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "unknown option: --frobnicate=9");
+  // A value passed to a value-less flag is unknown, not silently accepted.
+  EXPECT_FALSE(parse_args({"--csv=yes"}).ok);
+}
+
+TEST(Cli, HelpIsReportedNotExited) {
+  ParseResult r = parse_args({"--help"});
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(r.help);
+  r = parse_args({"-h"});
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(r.help);
+  // --help wins even when earlier flags are fine and later ones are bogus.
+  r = parse_args({"--runs=2", "--help", "--garbage"});
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(r.help);
+}
+
+TEST(Cli, PresetsStillApply) {
+  const ParseResult paper = parse_args({"--paper"});
+  ASSERT_TRUE(paper.ok) << paper.error;
+  EXPECT_EQ(paper.opt.size, 1'000'000);
+  EXPECT_DOUBLE_EQ(paper.opt.duration, 10.0);
+  EXPECT_EQ(paper.opt.runs, 3);
+  const ParseResult sens = parse_args({"--sensitive"});
+  ASSERT_TRUE(sens.ok) << sens.error;
+  EXPECT_EQ(sens.opt.high_cont, 0);
+  EXPECT_EQ(sens.opt.low_cont, -100);
 }
 
 }  // namespace

@@ -6,7 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -272,6 +276,252 @@ TEST(LfcaAdapt, MultiBaseRangeQueriesDriveJoins) {
   const Stats stats = tree.stats();
   EXPECT_GT(stats.joins, 0u);
   EXPECT_LT(tree.route_node_count(), routes_before);
+}
+
+// --- Join-after-join liveness. ----------------------------------------------
+
+TEST(LfcaAdapt, JoinAfterJoinCompletesWithoutSpinning) {
+  // Back-to-back joins through the same region of the route tree: each join
+  // invalidates the parent route node it collapses, and secure_join's
+  // parent_of lookup on the next attempt must re-resolve against live nodes
+  // only.  A stale-parent bug would surface here as an aborted join (the
+  // not_found() path) or, in the worst case, a non-terminating retry; in
+  // quiescence every one of these joins must succeed on its first attempt.
+  LfcaTree tree;
+  for (Key k = 0; k < 4000; ++k) tree.insert(k, 1);
+  ASSERT_TRUE(tree.force_split(2000));
+  ASSERT_TRUE(tree.force_split(1000));
+  ASSERT_TRUE(tree.force_split(3000));
+  ASSERT_EQ(tree.route_node_count(), 3u);
+
+  const std::uint64_t aborted_before = tree.stats().aborted_joins;
+  EXPECT_TRUE(tree.force_join(0));
+  EXPECT_EQ(tree.route_node_count(), 2u);
+  // The previous join unlinked the route node that used to parent the
+  // leftmost base; this one starts from the joined base and must join
+  // across what is now the root route node.
+  EXPECT_TRUE(tree.force_join(0));
+  EXPECT_EQ(tree.route_node_count(), 1u);
+  // And once more from a join_neighbor base left behind by the last join.
+  EXPECT_TRUE(tree.force_join(0));
+  EXPECT_EQ(tree.route_node_count(), 0u);
+  EXPECT_EQ(tree.stats().aborted_joins, aborted_before);
+  EXPECT_FALSE(tree.force_join(0));  // single base left: nothing to join
+
+  EXPECT_EQ(tree.size(), 4000u);
+  EXPECT_TRUE(tree.check_integrity());
+  std::string diagnostics;
+  EXPECT_TRUE(tree.validate(&diagnostics)) << diagnostics;
+}
+
+// --- Range-query retry protocol (Fig. 5). ------------------------------------
+//
+// all_in_range has several rarely-taken retry and helping paths that only
+// trigger when the tree mutates between a query's descent and its CAS, or
+// when two queries overlap mid-flight.  testing_range_step_hook fires at the
+// two decision points (phase 0: after a find_first descent; phase 1: after an
+// advance step finds its candidate base node), which lets these tests inject
+// a conflicting operation at exactly the right instant and drive each retry
+// path deterministically — single-threaded where possible, with one parked
+// peer thread where the path requires a concurrent in-flight query.
+
+Config non_optimistic() {
+  Config config;
+  config.optimistic_ranges = false;  // route queries through all_in_range
+  return config;
+}
+
+TEST(LfcaRangeRetry, FindFirstLostCasRetriesAndReusesStorage) {
+  LfcaTree tree(reclaim::Domain::global(), non_optimistic());
+  for (Key k = 0; k < 100; ++k) tree.insert(k, 1);
+  int fires = 0;
+  tree.testing_range_step_hook = [&](int phase) {
+    // Overwrite a key after the descent but before the query's marker CAS:
+    // the installation must fail and the query re-descends, reusing the
+    // ResultStorage it already allocated.
+    if (phase == 0 && fires++ == 0) tree.insert(50, 999);
+  };
+  auto items = range_items(tree, 0, 99);
+  tree.testing_range_step_hook = nullptr;
+  ASSERT_EQ(items.size(), 100u);
+  // The overwrite preceded the query's linearization point, so the snapshot
+  // must contain the new value.
+  EXPECT_EQ(items[50].key, 50);
+  EXPECT_EQ(items[50].value, 999u);
+  EXPECT_GE(fires, 2);  // the retry re-ran find_first
+  if (obs::kEnabled) {
+    EXPECT_GE(tree.stats().range_cas_fails, 1u);
+  }
+}
+
+TEST(LfcaRangeRetry, AdvanceLostCasRestoresStackAndRetries) {
+  LfcaTree tree(reclaim::Domain::global(), non_optimistic());
+  for (Key k = 0; k < 200; ++k) tree.insert(k, 1);
+  ASSERT_TRUE(tree.force_split(100));  // two base nodes
+  int fires = 0;
+  tree.testing_range_step_hook = [&](int phase) {
+    // Mutate the candidate base between find_next_base_stack and the
+    // query's CAS: the marker installation fails, `stack = backup` must
+    // restore the half-popped descent stack, and the retried advance must
+    // find the replacement base.
+    if (phase == 1 && fires++ == 0) tree.insert(150, 999);
+  };
+  auto items = range_items(tree, 0, 199);
+  tree.testing_range_step_hook = nullptr;
+  ASSERT_EQ(items.size(), 200u);
+  EXPECT_EQ(items[150].key, 150);
+  EXPECT_EQ(items[150].value, 999u);  // the insert preceded linearization
+  if (obs::kEnabled) {
+    EXPECT_GE(tree.stats().range_cas_fails, 1u);
+  }
+}
+
+TEST(LfcaRangeRetry, NestedQueryHelpsAndOuterSeesResultSet) {
+  LfcaTree tree(reclaim::Domain::global(), non_optimistic());
+  for (Key k = 0; k < 200; ++k) tree.insert(k, 1);
+  ASSERT_TRUE(tree.force_split(100));
+  int fires = 0;
+  std::size_t nested_count = 0;
+  tree.testing_range_step_hook = [&](int phase) {
+    if (phase == 1 && fires++ == 0) {
+      // A same-range query started while the outer one is mid-traversal:
+      // it finds the outer query's unset marker as its first base node,
+      // takes the help-wider path, finishes the traversal and publishes
+      // the outer query's result.
+      tree.range_query(0, 199, [&](Key, Value) { ++nested_count; });
+    }
+  };
+  auto items = range_items(tree, 0, 199);
+  tree.testing_range_step_hook = nullptr;
+  EXPECT_EQ(nested_count, 200u);
+  // The outer query's next advance step saw the result already set and
+  // returned early with the same snapshot.
+  ASSERT_EQ(items.size(), 200u);
+}
+
+// Shared staging for the two-thread retry tests: a monotone stage counter
+// advanced under a mutex, with generous timeouts so a sequencing bug fails
+// assertions instead of deadlocking the suite.
+struct StageGate {
+  std::mutex m;
+  std::condition_variable cv;
+  int stage = 0;
+
+  void advance_to(int s) {
+    std::lock_guard<std::mutex> lk(m);
+    stage = std::max(stage, s);
+    cv.notify_all();
+  }
+  [[nodiscard]] bool wait_for_stage(int s) {
+    std::unique_lock<std::mutex> lk(m);
+    return cv.wait_for(lk, std::chrono::seconds(30),
+                       [&] { return stage >= s; });
+  }
+};
+
+TEST(LfcaRangeRetry, LostCasThenHelpsWiderInFlightQuery) {
+  LfcaTree tree(reclaim::Domain::global(), non_optimistic());
+  for (Key k = 0; k < 200; ++k) tree.insert(k, 1);
+  ASSERT_TRUE(tree.force_split(100));
+
+  StageGate gate;
+  const std::thread::id main_id = std::this_thread::get_id();
+  std::atomic<int> narrow_phase0{0};
+  std::atomic<int> wide_phase1{0};
+  tree.testing_range_step_hook = [&](int phase) {
+    if (std::this_thread::get_id() == main_id) {
+      if (phase == 0 && narrow_phase0.fetch_add(1) == 0) {
+        // The narrow query descended to the first base node; let the wide
+        // query replace that base with its marker before we CAS.
+        gate.advance_to(1);
+        EXPECT_TRUE(gate.wait_for_stage(2));
+      }
+    } else {
+      if (phase == 1 && wide_phase1.fetch_add(1) == 0) {
+        // The wide query installed its first marker and found its next
+        // candidate: park it here so the marker stays unset while the
+        // narrow query runs into it.
+        gate.advance_to(2);
+        EXPECT_TRUE(gate.wait_for_stage(3));
+      }
+    }
+  };
+
+  std::size_t wide_count = 0;
+  std::thread wide([&] {
+    if (!gate.wait_for_stage(1)) return;
+    tree.range_query(0, 199, [&](Key, Value) { ++wide_count; });
+  });
+
+  // Loses its find_first CAS to the wide query's marker (allocating its
+  // ResultStorage in the process), re-descends, finds the wider unset
+  // marker covering [0, 150], releases its own storage and helps the wide
+  // query to completion instead.
+  std::size_t narrow_count = 0;
+  tree.range_query(0, 150, [&](Key, Value) { ++narrow_count; });
+  gate.advance_to(3);
+  wide.join();
+  tree.testing_range_step_hook = nullptr;
+
+  EXPECT_EQ(narrow_count, 151u);  // keys 0..150 of the helped snapshot
+  EXPECT_EQ(wide_count, 200u);    // the parked query returns the same result
+  if (obs::kEnabled) {
+    EXPECT_GE(tree.stats().range_cas_fails, 1u);
+  }
+}
+
+TEST(LfcaRangeRetry, HelperMarkedBaseCountsAsAdvanced) {
+  LfcaTree tree(reclaim::Domain::global(), non_optimistic());
+  for (Key k = 0; k < 300; ++k) tree.insert(k, 1);
+  ASSERT_TRUE(tree.force_split(150));
+  ASSERT_TRUE(tree.force_split(75));  // three base nodes
+
+  // The query below replaces the first base, then a concurrent helper of
+  // the same query overtakes it and replaces the second.  The query first
+  // loses a CAS against its stale candidate (restoring its stack), then
+  // re-finds the base as a marker of its own storage — which must count as
+  // progress (`advanced`), not as a conflict to retry forever.
+  StageGate gate;
+  const std::thread::id main_id = std::this_thread::get_id();
+  std::atomic<int> owner_phase1{0};
+  std::atomic<int> helper_phase1{0};
+  tree.testing_range_step_hook = [&](int phase) {
+    if (phase != 1) return;
+    if (std::this_thread::get_id() == main_id) {
+      if (owner_phase1.fetch_add(1) == 0) {
+        // Owner found its first advance candidate: let the helper run past
+        // this base before the owner tries to replace it.
+        gate.advance_to(1);
+        EXPECT_TRUE(gate.wait_for_stage(2));
+      }
+    } else {
+      if (helper_phase1.fetch_add(1) == 1) {
+        // Helper has replaced the owner's candidate and moved on to the
+        // third base: park it so the result stays unset while the owner
+        // works through the marked base.
+        gate.advance_to(2);
+        EXPECT_TRUE(gate.wait_for_stage(3));
+      }
+    }
+  };
+
+  std::size_t helper_count = 0;
+  std::thread helper([&] {
+    if (!gate.wait_for_stage(1)) return;
+    tree.range_query(0, 299, [&](Key, Value) { ++helper_count; });
+  });
+
+  std::size_t owner_count = 0;
+  tree.range_query(0, 299, [&](Key, Value) { ++owner_count; });
+  gate.advance_to(3);
+  helper.join();
+  tree.testing_range_step_hook = nullptr;
+
+  EXPECT_EQ(owner_count, 300u);
+  EXPECT_EQ(helper_count, 300u);
+  if (obs::kEnabled) {
+    EXPECT_GE(tree.stats().range_cas_fails, 1u);
+  }
 }
 
 // --- Concurrent stress. ------------------------------------------------------
