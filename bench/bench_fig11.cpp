@@ -54,15 +54,22 @@ int main(int argc, char** argv) {
       while (!stop.load(std::memory_order_relaxed)) {
         const std::uint64_t dice = rng.next_below(1000);
         const Key k = rng.next_in(1, opt.size - 1);
+        // Flight-recorder span, mirroring harness::run_mix (no-op unless
+        // --trace-out/--monitor-port enabled the recorder).
+        obs::flight::SpanStart span = obs::flight::begin_span();
+        obs::flight::SpanKind span_kind = obs::flight::SpanKind::kLookup;
         if (dice < 200) {
           if ((dice & 1) == 0) {
+            span_kind = obs::flight::SpanKind::kInsert;
             tree.insert(k, 1);
           } else {
+            span_kind = obs::flight::SpanKind::kRemove;
             tree.remove(k);
           }
         } else if (dice < 750) {
           tree.lookup(k);
         } else {
+          span_kind = obs::flight::SpanKind::kRange;
           const std::int64_t r = range_max.load(std::memory_order_relaxed);
           const std::int64_t span =
               static_cast<std::int64_t>(
@@ -73,6 +80,7 @@ int main(int argc, char** argv) {
                            [&](Key key, Value) { sum += key; });
           if (sum == 0xdeadbeefdeadbeefull) std::abort();
         }
+        obs::flight::end_span(span, span_kind, k);
         ops[t]->fetch_add(1, std::memory_order_relaxed);
         CATS_OBS_ONLY(obs::count(obs::GCounter::kHarnessOps));
       }

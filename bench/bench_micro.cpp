@@ -235,6 +235,18 @@ int main(int argc, char** argv) {
       opt.metrics_out = v;
     } else if (const char* v = value("--series-out=")) {
       opt.series_out = v;
+    } else if (const char* v = value("--trace-out=")) {
+      // Same contract as the strict CLI (harness/cli.hpp): a trace request
+      // against a build with no recorder is an error, not a no-op.
+      if (!cats::obs::kEnabled) {
+        std::fprintf(
+            stderr,
+            "--trace-out: flight recorder compiled out (CATS_OBS=OFF)\n");
+        return 2;
+      }
+      opt.trace_out = v;
+    } else if (const char* v = value("--trace-sample-shift=")) {
+      opt.trace_sample_shift = std::atoi(v);
     } else if (const char* v = value("--demo-duration=")) {
       demo_duration = std::atof(v);
     } else {

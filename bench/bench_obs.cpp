@@ -1,18 +1,32 @@
 // Observability overhead check.
 //
-// Runs the same LFCA mix in this build and prints throughput plus whether
-// the hooks are compiled in.  Build the tree twice to compare:
+// Runs the same LFCA mix under three in-binary flight-recorder modes plus
+// the compile-time hook state, so one ON/OFF build pair covers every
+// overhead question:
+//
+//   flight-off       recorder disabled (the shipped default): every
+//                    begin_span is one relaxed load and a branch
+//   flight-unsampled recorder enabled at shift 20 (1 op in ~10^6): measures
+//                    the enabled-but-not-sampling hot path
+//   flight-sampled   recorder enabled at shift 6 (1 op in 64): the cost of
+//                    actually recording spans at a tracing-grade rate
+//
+// Build the tree twice to compare the compile-time axis:
 //
 //   cmake -B build-on  -DCATS_OBS=ON  && cmake --build build-on  --target bench_obs
 //   cmake -B build-off -DCATS_OBS=OFF && cmake --build build-off --target bench_obs
 //   ./build-on/bench/bench_obs --csv; ./build-off/bench/bench_obs --csv
 //
-// The ON build must stay within ~2% of OFF: every hook is a relaxed
-// fetch_add on a thread-private cache line (or nothing at all on the
-// wait-free lookup path).
+// The ON build's flight-off and flight-unsampled rows must stay within
+// host noise of OFF: every always-on hook is a relaxed fetch_add on a
+// thread-private cache line (or nothing at all on the wait-free lookup
+// path), and the unsampled flight path adds one thread-local countdown.
+// In OFF builds the three modes are identical by construction (the
+// recorder is a stub) — the rows still print, as a baseline triple.
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "obs/flight/flight.hpp"
 
 int main(int argc, char** argv) {
   using namespace cats;
@@ -24,21 +38,60 @@ int main(int argc, char** argv) {
                 obs::kEnabled ? "ON" : "OFF", mix.describe().c_str(),
                 static_cast<long long>(opt.size));
   }
-  for (int threads : opt.threads) {
-    const harness::RunResult r =
-        bench::measure<lfca::LfcaTree>(opt, {{threads, mix}});
-    if (opt.csv) {
-      std::printf("obs-overhead,%s,%d,%.4f\n", obs::kEnabled ? "on" : "off",
-                  threads, r.throughput_mops());
+  struct Mode {
+    const char* name;
+    int shift;  // -1 = recorder disabled
+  };
+  const Mode modes[] = {
+      {"flight-off", -1},
+      {"flight-unsampled", 20},
+      {"flight-sampled", 6},
+  };
+  for (const Mode& mode : modes) {
+    if (mode.shift < 0) {
+      obs::flight::Recorder::instance().disable();
     } else {
-      std::printf("threads=%-3d %9.3f ops/us  (per-thread min=%llu max=%llu "
-                  "stddev=%.0f)\n",
-                  threads, r.throughput_mops(),
-                  static_cast<unsigned long long>(r.ops_min()),
-                  static_cast<unsigned long long>(r.ops_max()),
-                  r.ops_stddev());
+      obs::flight::Recorder::instance().enable(
+          static_cast<unsigned>(mode.shift));
     }
-    std::fflush(stdout);
+    for (int threads : opt.threads) {
+      const harness::RunResult r =
+          bench::measure<lfca::LfcaTree>(opt, {{threads, mix}});
+      if (opt.csv) {
+        std::printf("obs-overhead,%s,%s,%d,%.4f\n",
+                    obs::kEnabled ? "on" : "off", mode.name, threads,
+                    r.throughput_mops());
+      } else {
+        std::printf("%-17s threads=%-3d %9.3f ops/us  (per-thread min=%llu "
+                    "max=%llu stddev=%.0f)\n",
+                    mode.name, threads, r.throughput_mops(),
+                    static_cast<unsigned long long>(r.ops_min()),
+                    static_cast<unsigned long long>(r.ops_max()),
+                    r.ops_stddev());
+      }
+      std::fflush(stdout);
+    }
+  }
+  obs::flight::Recorder::instance().disable();
+  // Hardware-counter smoke line: per-phase cycles/IPC when the kernel
+  // permits, an explicit reason when it does not — never a failure.
+  const obs::flight::PerfCounts measure_phase =
+      [] {
+        for (const auto& [phase, counts] : obs::flight::perf_phase_totals()) {
+          if (phase == "measure") return counts;
+        }
+        return obs::flight::PerfCounts{};
+      }();
+  if (measure_phase.available) {
+    std::printf("perf,measure,cycles=%llu,instructions=%llu,ipc=%.2f\n",
+                static_cast<unsigned long long>(measure_phase.cycles),
+                static_cast<unsigned long long>(measure_phase.instructions),
+                measure_phase.ipc());
+  } else {
+    std::printf("perf,measure,unavailable: %s\n",
+                measure_phase.unavailable_reason.empty()
+                    ? "no samples"
+                    : measure_phase.unavailable_reason.c_str());
   }
   return 0;
 }

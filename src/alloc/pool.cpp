@@ -5,6 +5,8 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/flight/annot.hpp"
+
 namespace cats::alloc {
 
 #if CATS_POOL_ENABLED
@@ -243,6 +245,7 @@ void carve_slab(ThreadCache& tc, std::size_t c) {
 /// Refills `tc` for class `c` from the transfer cache, the overflow list or
 /// a fresh slab, then pops one block.
 void* alloc_slow(ThreadCache& tc, std::size_t c) {
+  obs::flight::note_pool_refill();
   Central& central = Central::instance();
   std::uint64_t n = 0;
   void* chain = central.take_chain(c, &n);

@@ -15,6 +15,7 @@
 
 #include "check/check.hpp"
 #include "common/types.hpp"
+#include "obs/obs.hpp"
 
 namespace cats::harness {
 
@@ -98,6 +99,14 @@ struct Options {
   /// thread (CATS_CHECKED builds; 0 = never).  A failed validation aborts
   /// with the diagnostic report.
   std::uint64_t check_every_n_ops = 0;
+  /// Where the flight-recorder timeline (Chrome/Perfetto trace-event JSON)
+  /// is written; empty = flight recorder stays off unless the monitor
+  /// endpoint is up.  Hard error in CATS_OBS=OFF builds — a silently empty
+  /// trace is worse than a refused run.
+  std::string trace_out;
+  /// Flight-recorder sampling: record every 2^shift-th operation per
+  /// thread (0 = every op, default 10 = 1/1024).
+  int trace_sample_shift = 10;
 
   /// Parses argv into `opt`.  Returns false (with a one-line message in
   /// `error`) on the first unknown flag, duplicate flag, malformed numeric
@@ -220,6 +229,29 @@ struct Options {
                        "--check-every-n-ops: requested but compiled out "
                        "(CATS_CHECKED=OFF)\n");
         }
+      } else if (const char* v = value("--trace-out=")) {
+        if (*v == '\0') {
+          return fail("--trace-out: expected a file path, got ''");
+        }
+        if (!obs::kEnabled) {
+          // Unlike --check-every-n-ops (a validator that can degrade to a
+          // warning), a trace request with no recorder would produce
+          // nothing at all — refuse instead of no-opping.
+          return fail(
+              "--trace-out: flight recorder compiled out (CATS_OBS=OFF)");
+        }
+        opt.trace_out = v;
+      } else if (const char* v = value("--trace-sample-shift=")) {
+        if (!detail::parse_int(v, &opt.trace_sample_shift) ||
+            opt.trace_sample_shift < 0 || opt.trace_sample_shift > 20) {
+          return fail("--trace-sample-shift: expected 0..20, got '" +
+                      std::string(v) + "'");
+        }
+        if (!obs::kEnabled) {
+          return fail(
+              "--trace-sample-shift: flight recorder compiled out "
+              "(CATS_OBS=OFF)");
+        }
       } else if (arg == "--paper") {
         // The paper's configuration (§7): S = 10^6, 10 s runs, 3 runs
         // averaged, thread counts up to 128.
@@ -248,7 +280,8 @@ struct Options {
           "--csv --only=NAME --paper --sensitive --high-cont=X "
           "--low-cont=X --cont-contrib=X --monitor-interval-ms=MS "
           "--monitor-port=P --metrics-out=FILE --series-out=FILE "
-          "--check-every-n-ops=N\n");
+          "--check-every-n-ops=N --trace-out=FILE "
+          "--trace-sample-shift=N\n");
       std::exit(0);
     }
     return opt;

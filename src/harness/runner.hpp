@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -33,9 +34,15 @@
 #include "harness/cli.hpp"
 #include "harness/workload.hpp"
 #include "obs/export.hpp"
+#include "obs/flight/flight.hpp"
+#include "obs/flight/perf_counters.hpp"
 #include "obs/http_server.hpp"
 #include "obs/monitor.hpp"
 #include "obs/registry.hpp"
+
+#if CATS_OBS_ENABLED
+#include "obs/flight/perfetto.hpp"
+#endif
 
 namespace cats::harness {
 
@@ -43,6 +50,9 @@ namespace cats::harness {
 /// exactly key_range/2 items (the paper's pre-fill).
 template <class S>
 void prefill(S& structure, Key key_range, std::uint64_t seed = 0xfeedbeef) {
+  // Hardware counters for the prefill phase (obs builds; stub otherwise).
+  obs::flight::ThreadPerf perf;
+  perf.start();
   Xoshiro256 rng(seed);
   std::int64_t inserted = 0;
   const std::int64_t target = key_range / 2;
@@ -50,6 +60,7 @@ void prefill(S& structure, Key key_range, std::uint64_t seed = 0xfeedbeef) {
     const Key k = rng.next_in(1, key_range - 1);
     if (structure.insert(k, static_cast<Value>(k) + 1)) ++inserted;
   }
+  obs::flight::perf_phase_add("prefill", perf.stop());
 }
 
 namespace detail {
@@ -73,6 +84,7 @@ RunResult run_mix(S& structure, const std::vector<ThreadGroup>& groups,
 
   std::vector<detail::ThreadCounters> counters(total_threads);
   std::vector<int> group_of(total_threads);
+  std::vector<obs::flight::PerfCounts> thread_perf(total_threads);
   std::vector<std::thread> threads;
   SpinBarrier barrier(total_threads + 1);
   std::atomic<bool> stop{false};
@@ -91,7 +103,11 @@ RunResult run_mix(S& structure, const std::vector<ThreadGroup>& groups,
         const std::uint64_t check_period =
             g_check_every_n_ops.load(std::memory_order_relaxed);
 #endif
+        // Per-thread hardware counters over the measure phase (opened on
+        // the worker thread itself; perf_event_open counts the caller).
+        obs::flight::ThreadPerf perf;
         barrier.arrive_and_wait();
+        perf.start();
         while (!stop.load(std::memory_order_relaxed)) {
           const std::uint64_t dice = rng.next_below(1000);
           const Key k = rng.next_in(1, key_range - 1);
@@ -103,10 +119,16 @@ RunResult run_mix(S& structure, const std::vector<ThreadGroup>& groups,
                                         : std::chrono::steady_clock::time_point();
           obs::GHistogram op_hist = obs::GHistogram::kUpdateLatencyNs;
 #endif
+          // Flight-recorder span (no-op unless the recorder is enabled and
+          // this operation is sampled — see obs/flight/flight.hpp).
+          obs::flight::SpanStart span = obs::flight::begin_span();
+          obs::flight::SpanKind span_kind = obs::flight::SpanKind::kLookup;
           if (dice < mix.update_permille) {
             if ((dice & 1) == 0) {
+              span_kind = obs::flight::SpanKind::kInsert;
               structure.insert(k, static_cast<Value>(k) + 1);
             } else {
+              span_kind = obs::flight::SpanKind::kRemove;
               structure.remove(k);
             }
           } else if (dice < mix.update_permille + mix.lookup_permille) {
@@ -116,6 +138,7 @@ RunResult run_mix(S& structure, const std::vector<ThreadGroup>& groups,
             op_hist = obs::GHistogram::kLookupLatencyNs;
 #endif
           } else {
+            span_kind = obs::flight::SpanKind::kRange;
             const std::int64_t span =
                 mix.fixed_range_size
                     ? mix.range_max
@@ -137,6 +160,7 @@ RunResult run_mix(S& structure, const std::vector<ThreadGroup>& groups,
             op_hist = obs::GHistogram::kRangeLatencyNs;
 #endif
           }
+          obs::flight::end_span(span, span_kind, k);
 #if CATS_OBS_ENABLED
           if (sampled) {
             const auto elapsed = std::chrono::steady_clock::now() - op_begin;
@@ -169,6 +193,7 @@ RunResult run_mix(S& structure, const std::vector<ThreadGroup>& groups,
           }
 #endif
         }
+        thread_perf[thread_index] = perf.stop();
       });
     }
   }
@@ -189,7 +214,9 @@ RunResult run_mix(S& structure, const std::vector<ThreadGroup>& groups,
     result.range_queries += counters[t].range_queries;
     result.range_items += counters[t].range_items;
     result.per_thread_ops.push_back(counters[t].ops);
+    result.perf += thread_perf[t];
   }
+  obs::flight::perf_phase_add("measure", result.perf);
   return result;
 }
 
@@ -226,7 +253,15 @@ class MonitoredRun {
   MonitoredRun(const Options& opt, StatsSource stats,
                TopologySource topology = {})
       : stats_(std::move(stats)), metrics_path_(opt.metrics_out),
-        series_path_(opt.series_out) {
+        series_path_(opt.series_out), trace_path_(opt.trace_out) {
+    // The flight recorder turns on when a trace file was requested or a
+    // live endpoint could serve /trace.json; otherwise every begin_span in
+    // the workers stays on its two-instruction disabled path.
+    if (!opt.trace_out.empty() || opt.monitor_port >= 0) {
+      obs::flight::Recorder::instance().enable(
+          static_cast<unsigned>(opt.trace_sample_shift));
+      flight_enabled_ = true;
+    }
     if (opt.monitor_interval_ms > 0) {
       obs::Monitor::Config config;
       config.interval = std::chrono::milliseconds(opt.monitor_interval_ms);
@@ -260,6 +295,13 @@ class MonitoredRun {
                           return os.str();
                         });
       }
+      if (flight_enabled_) {
+        server_->handle("/trace.json", "application/json", [] {
+          std::ostringstream os;
+          obs::flight::write_chrome_trace(os);
+          return os.str();
+        });
+      }
       if (server_->start()) {
         std::fprintf(stderr,
                      "monitor: serving http://127.0.0.1:%d/metrics\n",
@@ -285,8 +327,35 @@ class MonitoredRun {
     finished_ = true;
     if (server_) server_->stop();
     if (monitor_) monitor_->stop();
+    if (!trace_path_.empty()) {
+      std::ofstream out(trace_path_);
+      bool ok = static_cast<bool>(out);
+      if (ok) {
+        obs::flight::write_chrome_trace(out);
+        out << '\n';
+        ok = static_cast<bool>(out);
+      }
+      if (ok) {
+        std::fprintf(stderr,
+                     "monitor: trace written to %s (%llu spans recorded, "
+                     "%llu overwritten)\n",
+                     trace_path_.c_str(),
+                     static_cast<unsigned long long>(
+                         obs::flight::Recorder::instance().recorded()),
+                     static_cast<unsigned long long>(
+                         obs::flight::Recorder::instance().dropped()));
+      } else {
+        std::fprintf(stderr, "monitor: failed to write %s\n",
+                     trace_path_.c_str());
+      }
+    }
+    if (flight_enabled_) obs::flight::Recorder::instance().disable();
     if (!metrics_path_.empty()) {
-      if (obs::write_json_file(metrics_path_, stats_())) {
+      obs::Snapshot snap = stats_();
+      // Per-phase hardware counters ride in the final snapshot only: they
+      // are gathered at phase end, so the live monitor never sees them.
+      obs::flight::append_perf_phases(snap);
+      if (obs::write_json_file(metrics_path_, snap)) {
         std::fprintf(stderr, "monitor: metrics written to %s\n",
                      metrics_path_.c_str());
       } else {
@@ -309,8 +378,10 @@ class MonitoredRun {
   StatsSource stats_;
   std::string metrics_path_;
   std::string series_path_;
+  std::string trace_path_;
   std::unique_ptr<obs::Monitor> monitor_;
   std::unique_ptr<obs::HttpServer> server_;
+  bool flight_enabled_ = false;
   bool finished_ = false;
 };
 
@@ -344,7 +415,8 @@ class MonitoredRun {
 
   MonitoredRun(const Options& opt, StatsSource = 0, TopologySource = 0) {
     if (opt.monitor_interval_ms > 0 || opt.monitor_port >= 0 ||
-        !opt.metrics_out.empty() || !opt.series_out.empty()) {
+        !opt.metrics_out.empty() || !opt.series_out.empty() ||
+        !opt.trace_out.empty()) {
       std::fprintf(stderr,
                    "monitor: requested but compiled out (CATS_OBS=OFF)\n");
     }

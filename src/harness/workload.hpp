@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/flight/perf_counters.hpp"
 
 namespace cats::harness {
 
@@ -39,7 +40,8 @@ struct Mix {
                     "% r:" + std::to_string(lookup_permille / 10) +
                     "% q:" + std::to_string(range_permille / 10) + "%";
     if (range_permille > 0) {
-      s += "-" + std::to_string(range_max);
+      s += '-';
+      s += std::to_string(range_max);
       if (fixed_range_size) s += " (fixed)";
     }
     return s;
@@ -63,6 +65,10 @@ struct RunResult {
   /// starved thread (ops_min far below ops_max) invalidates a throughput
   /// comparison even when the total looks fine.
   std::vector<std::uint64_t> per_thread_ops;
+  /// Hardware counters summed over the worker threads of the measure
+  /// phase.  `perf.available` is false (with a reason) when the counters
+  /// could not be opened or are compiled out — never fails the run.
+  obs::flight::PerfCounts perf;
 
   double throughput_mops() const {
     return seconds > 0 ? static_cast<double>(total_ops) / seconds / 1e6 : 0;

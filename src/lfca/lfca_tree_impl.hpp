@@ -31,6 +31,7 @@
 #include "common/rng.hpp"
 #include "lfca/lfca_tree.hpp"
 #include "lfca/scratch.hpp"
+#include "obs/flight/annot.hpp"
 #include "obs/registry.hpp"
 
 namespace cats::lfca {
@@ -80,6 +81,7 @@ Node<C>* new_range_base(Node<C>* b, Key lo, Key hi,
   if (n->data != nullptr) C::incref(n->data);
   n->stat.store(b->stat.load(std::memory_order_relaxed),
                 std::memory_order_relaxed);
+  CATS_OBS_ONLY(heat_inherit<C>(n, b));
   n->lo = lo;
   n->hi = hi;
   storage->add_ref();
@@ -187,6 +189,7 @@ void BasicLfcaTree<C>::help_if_needed(Node* n) {
     } else if (detail::is_real<C>(state)) {
       count(TreeCounter::kHelps);
       count_obs(TreeCounter::kHelpJoins);
+      CATS_OBS_ONLY(n->heat_helps.fetch_add(1, std::memory_order_relaxed));
       complete_join(n);
     }
   } else if (n->type == NodeType::kRange &&
@@ -194,6 +197,7 @@ void BasicLfcaTree<C>::help_if_needed(Node* n) {
                  detail::not_set<C>()) {
     count(TreeCounter::kHelps);
     count_obs(TreeCounter::kHelpRanges);
+    CATS_OBS_ONLY(n->heat_helps.fetch_add(1, std::memory_order_relaxed));
     all_in_range(n->lo, n->hi, n->storage);
   }
 }
@@ -257,8 +261,22 @@ template <class C>
 bool BasicLfcaTree<C>::do_update(UpdateKind kind, Key key, Value value) {
   reclaim::Domain::Guard guard(domain_);
   ContentionInfo info = ContentionInfo::kUncontended;
+#if CATS_OBS_ENABLED
+  // Heatmap carry: a lost CAS means `base` was just replaced, so charging
+  // the failure to it would write to a retired node and lose the tally.
+  // Accumulate locally and charge the next base found on retry — it is live
+  // (we just loaded it) and covers the same key.
+  std::uint64_t pending_cas_fails = 0;
+#endif
   while (true) {
     Node* base = find_base_node(key);
+#if CATS_OBS_ENABLED
+    if (pending_cas_fails != 0) {
+      base->heat_cas_fails.fetch_add(pending_cas_fails,
+                                     std::memory_order_relaxed);
+      pending_cas_fails = 0;
+    }
+#endif
     if (is_replaceable(base)) {
       bool changed = false;
       typename C::Ref new_data =
@@ -271,12 +289,17 @@ bool BasicLfcaTree<C>::do_update(UpdateKind kind, Key key, Value value) {
       newb->parent = base->parent;
       newb->data = new_data.release();
       newb->stat.store(new_stat(base, info), std::memory_order_relaxed);
+      CATS_OBS_ONLY(detail::heat_inherit<C>(newb, base));
       if (try_replace(base, newb)) {
         adapt_if_needed(newb);
         return kind == UpdateKind::kInsert ? !changed : changed;
       }
       delete newb;  // catslint: direct-delete(never published; CAS lost)
       count_obs(TreeCounter::kUpdateCasFails);
+      CATS_OBS_ONLY({
+        ++pending_cas_fails;
+        obs::flight::note_cas_fail();
+      });
     } else {
       count_obs(TreeCounter::kUpdateBlockedRetries);
     }
@@ -347,6 +370,18 @@ bool BasicLfcaTree<C>::high_contention_adaptation(Node* b) {
   rb->data = right_data.release();
   r->left.store(lb, std::memory_order_relaxed);
   r->right.store(rb, std::memory_order_relaxed);
+#if CATS_OBS_ENABLED
+  // Split the heat tallies between the halves so the heatmap's totals are
+  // conserved across the adaptation (half each; odd remainder to the right).
+  {
+    const std::uint64_t cf = b->heat_cas_fails.load(std::memory_order_relaxed);
+    const std::uint64_t hp = b->heat_helps.load(std::memory_order_relaxed);
+    lb->heat_cas_fails.store(cf / 2, std::memory_order_relaxed);
+    rb->heat_cas_fails.store(cf - cf / 2, std::memory_order_relaxed);
+    lb->heat_helps.store(hp / 2, std::memory_order_relaxed);
+    rb->heat_helps.store(hp - hp / 2, std::memory_order_relaxed);
+  }
+#endif
 
   if (try_replace(b, r)) {
     count(TreeCounter::kSplits);
@@ -433,6 +468,7 @@ typename BasicLfcaTree<C>::Node* BasicLfcaTree<C>::secure_join(
   if (m->data != nullptr) C::incref(m->data);
   m->stat.store(b->stat.load(std::memory_order_relaxed),
                 std::memory_order_relaxed);
+  CATS_OBS_ONLY(detail::heat_inherit<C>(m, b));
   m->neigh2.store(Node::preparing(), std::memory_order_relaxed);
   {
     auto& slot = left_child ? parent->left : parent->right;
@@ -452,6 +488,7 @@ typename BasicLfcaTree<C>::Node* BasicLfcaTree<C>::secure_join(
   if (n1->data != nullptr) C::incref(n1->data);
   n1->stat.store(n0->stat.load(std::memory_order_relaxed),
                  std::memory_order_relaxed);
+  CATS_OBS_ONLY(detail::heat_inherit<C>(n1, n0));
   n1->main_node = m;
   m->main_refs.fetch_add(1, std::memory_order_relaxed);  // held by n1
   if (!try_replace(n0, n1)) {
@@ -503,6 +540,16 @@ typename BasicLfcaTree<C>::Node* BasicLfcaTree<C>::secure_join(
   n2->data = (left_child ? C::join(m->data, n1->data)
                          : C::join(n1->data, m->data))
                  .release();
+#if CATS_OBS_ENABLED
+  // The joined base covers both intervals: its heat is the sum.
+  n2->heat_cas_fails.store(
+      m->heat_cas_fails.load(std::memory_order_relaxed) +
+          n1->heat_cas_fails.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  n2->heat_helps.store(m->heat_helps.load(std::memory_order_relaxed) +
+                           n1->heat_helps.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+#endif
   {
     Node* expected = Node::preparing();
     if (m->neigh2.compare_exchange_strong(expected, n2,
@@ -658,11 +705,24 @@ const typename C::Node* BasicLfcaTree<C>::all_in_range(
   std::vector<Node*>& done = scratch->done;
   ResultStorage* my_s = nullptr;
   Node* b = nullptr;
+#if CATS_OBS_ENABLED
+  // Heatmap carry, same scheme as do_update: charge a lost CAS to the next
+  // live base found on retry, never to the already-replaced loser.
+  std::uint64_t pending_cas_fails = 0;
+  const auto settle_heat = [&](Node* live) {
+    if (pending_cas_fails != 0) {
+      live->heat_cas_fails.fetch_add(pending_cas_fails,
+                                     std::memory_order_relaxed);
+      pending_cas_fails = 0;
+    }
+  };
+#endif
 
   // find_first (lines 168-183).
   while (true) {
     stack.clear();
     b = find_base_stack(lo, stack);
+    CATS_OBS_ONLY(settle_heat(b));
     if (testing_range_step_hook) testing_range_step_hook(0);
     if (help_s != nullptr) {
       if (b->type != NodeType::kRange || b->storage != help_s) {
@@ -679,6 +739,10 @@ const typename C::Node* BasicLfcaTree<C>::all_in_range(
       if (!try_replace(b, n)) {
         delete n;  // catslint: direct-delete(never published; CAS lost)
         count_obs(TreeCounter::kRangeCasFails);
+        CATS_OBS_ONLY({
+          ++pending_cas_fails;
+          obs::flight::note_cas_fail();
+        });
         continue;  // goto find_first
       }
       stack.back() = n;  // replace_top
@@ -717,6 +781,7 @@ const typename C::Node* BasicLfcaTree<C>::all_in_range(
     while (!advanced) {
       b = find_next_base_stack(stack);
       if (b == nullptr) break;
+      CATS_OBS_ONLY(settle_heat(b));
       if (testing_range_step_hook) testing_range_step_hook(1);
       const typename C::Node* result =
           my_s->result.load(std::memory_order_acquire);
@@ -735,6 +800,10 @@ const typename C::Node* BasicLfcaTree<C>::all_in_range(
         } else {
           delete n;  // catslint: direct-delete(never published; CAS lost)
           count_obs(TreeCounter::kRangeCasFails);
+          CATS_OBS_ONLY({
+            ++pending_cas_fails;
+            obs::flight::note_cas_fail();
+          });
           stack = backup;
         }
       } else {
@@ -860,7 +929,7 @@ std::size_t count_routes(Node<C>* n) {
 /// allocated until we are done.  The only mutable fields read are atomics
 /// (valid, join_id, stat), so the walk is race-free by construction.
 template <class C>
-void topology_walk(Node<C>* n, std::uint32_t route_depth,
+void topology_walk(Node<C>* n, std::uint32_t route_depth, Key lo,
                    obs::TopologySnapshot& out) {
   if (n->type == NodeType::kRoute) {
     ++out.route_nodes;
@@ -869,9 +938,9 @@ void topology_walk(Node<C>* n, std::uint32_t route_depth,
       ++out.marked_routes;
     }
     topology_walk<C>(n->left.load(std::memory_order_acquire),
-                     route_depth + 1, out);
+                     route_depth + 1, lo, out);
     topology_walk<C>(n->right.load(std::memory_order_acquire),
-                     route_depth + 1, out);
+                     route_depth + 1, n->key, out);
     return;
   }
   ++out.base_nodes;
@@ -891,6 +960,20 @@ void topology_walk(Node<C>* n, std::uint32_t route_depth,
   if (out.base_nodes == 1 || stat < out.stat_min) out.stat_min = stat;
   if (out.base_nodes == 1 || stat > out.stat_max) out.stat_max = stat;
   out.stat_abs.add(static_cast<std::uint64_t>(stat < 0 ? -stat : stat));
+#if CATS_OBS_ENABLED
+  // Contention heatmap sample: the base's key interval starts at the key of
+  // the nearest ancestor whose right subtree contains it (kKeyMin for the
+  // leftmost path), which identifies the region spatially across snapshots
+  // even as the node pointers churn.
+  obs::BaseHeat heat;
+  heat.depth = route_depth;
+  heat.key_lo = static_cast<long long>(lo);
+  heat.cas_fails = n->heat_cas_fails.load(std::memory_order_relaxed);
+  heat.helps = n->heat_helps.load(std::memory_order_relaxed);
+  heat.items = occupancy;
+  heat.stat = stat;
+  out.add_base_heat(heat);
+#endif
 }
 
 /// Quiescent structural check: route keys form a BST and every base node's
@@ -969,7 +1052,8 @@ template <class C>
 obs::TopologySnapshot BasicLfcaTree<C>::collect_topology() const {
   obs::TopologySnapshot out;
   reclaim::Domain::Guard guard(domain_);
-  detail::topology_walk<C>(root_.load(std::memory_order_acquire), 0, out);
+  detail::topology_walk<C>(root_.load(std::memory_order_acquire), 0, kKeyMin,
+                           out);
   return out;
 }
 

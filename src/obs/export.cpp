@@ -95,6 +95,18 @@ void write_table(std::ostream& os, const Snapshot& snap) {
                   h.quantile(0.9), h.quantile(0.99));
     os << line;
   }
+  if (!snap.hot_bases.empty()) {
+    os << "-- contention heatmap (hottest bases) --\n";
+    for (const Snapshot::HotBase& hot : snap.hot_bases) {
+      char line[192];
+      std::snprintf(line, sizeof line,
+                    "  #%-2u depth=%-3u key_lo=%-12lld cas_fails=%-10" PRIu64
+                    " helps=%-8" PRIu64 " items=%" PRIu64 "\n",
+                    hot.rank, hot.depth, hot.key_lo, hot.cas_fails,
+                    hot.helps, hot.items);
+      os << line;
+    }
+  }
   os << "-- adaptation trace (" << snap.events.size() << " events) --\n";
   // The full timeline can be thousands of lines; show the tail.
   const std::size_t show = snap.events.size() > 20 ? 20 : snap.events.size();
@@ -182,7 +194,19 @@ void write_json(std::ostream& os, const Snapshot& snap) {
     os << ':';
     write_histogram_json(os, h);
   }
-  os << "},\"trace\":[";
+  os << "},\"hot_bases\":[";
+  first = true;
+  for (const Snapshot::HotBase& hot : snap.hot_bases) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"metric\":";
+    json_escape(os, hot.metric);
+    os << ",\"rank\":" << hot.rank << ",\"depth\":" << hot.depth
+       << ",\"key_lo\":" << hot.key_lo << ",\"cas_fails\":" << hot.cas_fails
+       << ",\"helps\":" << hot.helps << ",\"items\":" << hot.items
+       << ",\"stat\":" << hot.stat << '}';
+  }
+  os << "],\"trace\":[";
   first = true;
   for (const TraceEvent& e : snap.events) {
     if (!first) os << ',';
@@ -244,6 +268,30 @@ void write_prometheus(std::ostream& os, const Snapshot& snap) {
       std::snprintf(row, sizeof row, "%s_quantile{q=\"%g\"} %.1f\n",
                     n.c_str(), q, h.quantile(q));
       os << row;
+    }
+  }
+  // Hot bases as labeled gauges: one series family per metric name and
+  // field, the base identified by rank/depth/key_lo labels.  TYPE lines are
+  // emitted once per family (entries arrive grouped by metric).
+  {
+    using Field =
+        std::pair<const char*, std::uint64_t (*)(const Snapshot::HotBase&)>;
+    const Field fields[] = {
+        {"cas_fails", [](const Snapshot::HotBase& h) { return h.cas_fails; }},
+        {"helps", [](const Snapshot::HotBase& h) { return h.helps; }},
+        {"items", [](const Snapshot::HotBase& h) { return h.items; }},
+    };
+    for (const auto& [field, value_of] : fields) {
+      std::string last_metric;
+      for (const Snapshot::HotBase& hot : snap.hot_bases) {
+        const std::string n = prom_name(hot.metric) + "_" + field;
+        if (hot.metric != last_metric) {
+          os << "# TYPE " << n << " gauge\n";
+          last_metric = hot.metric;
+        }
+        os << n << "{rank=\"" << hot.rank << "\",depth=\"" << hot.depth
+           << "\",key_lo=\"" << hot.key_lo << "\"} " << value_of(hot) << '\n';
+      }
     }
   }
   // The trace is not a Prometheus concept; expose its volume as a counter.

@@ -27,10 +27,27 @@
 namespace cats::obs {
 
 struct Snapshot {
+  /// One labeled contention-heatmap sample (topology.cpp fills these from
+  /// TopologySnapshot::hot_bases).  Kept apart from the flat gauges
+  /// because the hot-base set changes between samples: the monitor's fixed
+  /// CSV schema ignores them, while write_prometheus renders them as
+  /// labeled gauges and write_json/write_table as records.
+  struct HotBase {
+    std::string metric;       // e.g. "lfca_topo_hot_base"
+    std::uint32_t rank = 0;   // 0 = hottest
+    std::uint32_t depth = 0;
+    long long key_lo = 0;
+    std::uint64_t cas_fails = 0;
+    std::uint64_t helps = 0;
+    std::uint64_t items = 0;
+    std::int64_t stat = 0;
+  };
+
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
   std::vector<TraceEvent> events;
+  std::vector<HotBase> hot_bases;
 
   void add_counter(std::string name, std::uint64_t value) {
     counters.emplace_back(std::move(name), value);

@@ -1,0 +1,187 @@
+#include "obs/flight/perf_counters.hpp"
+
+#if CATS_OBS_ENABLED
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+#include "obs/export.hpp"
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define CATS_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#define CATS_HAVE_PERF_EVENT 0
+#endif
+
+namespace cats::obs::flight {
+
+#if CATS_HAVE_PERF_EVENT
+
+namespace {
+
+int open_counter(std::uint32_t type, std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.type = type;
+  attr.size = sizeof attr;
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // pid = 0, cpu = -1: this thread, any CPU it migrates to.
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+}
+
+std::uint64_t read_counter(int fd) {
+  if (fd < 0) return 0;
+  std::uint64_t value = 0;
+  if (read(fd, &value, sizeof value) != sizeof value) return 0;
+  return value;
+}
+
+}  // namespace
+
+ThreadPerf::ThreadPerf() {
+  fds_[kCycles] =
+      open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+  if (fds_[kCycles] < 0) {
+    const int err = errno;
+    reason_ = std::string(std::strerror(err));
+    if (err == EACCES || err == EPERM) {
+      reason_ += " (check /proc/sys/kernel/perf_event_paranoid)";
+    }
+    return;
+  }
+  fds_[kInstructions] =
+      open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
+  if (fds_[kInstructions] < 0) {
+    reason_ = std::string(std::strerror(errno));
+    close(fds_[kCycles]);
+    fds_[kCycles] = -1;
+    return;
+  }
+  // Miss counters are optional: virtualized PMUs often expose only the
+  // fixed cycle/instruction counters.  Missing ones just read 0.
+  fds_[kCacheMisses] =
+      open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES);
+  fds_[kBranchMisses] =
+      open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES);
+  available_ = true;
+}
+
+ThreadPerf::~ThreadPerf() {
+  for (int& fd : fds_) {
+    if (fd >= 0) close(fd);
+    fd = -1;
+  }
+}
+
+void ThreadPerf::start() {
+  if (!available_) return;
+  for (const int fd : fds_) {
+    if (fd < 0) continue;
+    ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+PerfCounts ThreadPerf::stop() {
+  PerfCounts counts;
+  if (!available_) {
+    counts.unavailable_reason = reason_;
+    return counts;
+  }
+  for (const int fd : fds_) {
+    if (fd >= 0) ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+  }
+  counts.available = true;
+  counts.threads = 1;
+  counts.cycles = read_counter(fds_[kCycles]);
+  counts.instructions = read_counter(fds_[kInstructions]);
+  counts.cache_misses = read_counter(fds_[kCacheMisses]);
+  counts.branch_misses = read_counter(fds_[kBranchMisses]);
+  return counts;
+}
+
+#else  // !CATS_HAVE_PERF_EVENT
+
+ThreadPerf::ThreadPerf() : reason_("perf_event_open not available on this platform") {}
+ThreadPerf::~ThreadPerf() = default;
+void ThreadPerf::start() {}
+PerfCounts ThreadPerf::stop() {
+  PerfCounts counts;
+  counts.unavailable_reason = reason_;
+  return counts;
+}
+
+#endif  // CATS_HAVE_PERF_EVENT
+
+// ---------------------------------------------------------------------------
+// Per-phase totals.  Mutex-protected: phase folding happens once per thread
+// per run phase, far off any hot path.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct PhaseTotals {
+  std::mutex mutex;
+  std::vector<std::pair<std::string, PerfCounts>> phases;
+
+  static PhaseTotals& instance() {
+    static PhaseTotals* const totals = new PhaseTotals();  // leaked: may be
+    return *totals;  // touched from thread-exit paths after static dtors
+  }
+};
+
+}  // namespace
+
+void perf_phase_add(const std::string& phase, const PerfCounts& counts) {
+  PhaseTotals& totals = PhaseTotals::instance();
+  std::lock_guard<std::mutex> lock(totals.mutex);
+  for (auto& [name, total] : totals.phases) {
+    if (name == phase) {
+      total += counts;
+      return;
+    }
+  }
+  totals.phases.emplace_back(phase, PerfCounts{});
+  totals.phases.back().second += counts;
+}
+
+std::vector<std::pair<std::string, PerfCounts>> perf_phase_totals() {
+  PhaseTotals& totals = PhaseTotals::instance();
+  std::lock_guard<std::mutex> lock(totals.mutex);
+  return totals.phases;
+}
+
+void perf_phase_reset() {
+  PhaseTotals& totals = PhaseTotals::instance();
+  std::lock_guard<std::mutex> lock(totals.mutex);
+  totals.phases.clear();
+}
+
+void append_perf_phases(Snapshot& snap) {
+  for (const auto& [phase, counts] : perf_phase_totals()) {
+    const std::string prefix = "perf_" + phase + "_";
+    snap.add_gauge(prefix + "available", counts.available ? 1.0 : 0.0);
+    snap.add_gauge(prefix + "threads", static_cast<double>(counts.threads));
+    snap.add_gauge(prefix + "cycles", static_cast<double>(counts.cycles));
+    snap.add_gauge(prefix + "instructions",
+                   static_cast<double>(counts.instructions));
+    snap.add_gauge(prefix + "cache_misses",
+                   static_cast<double>(counts.cache_misses));
+    snap.add_gauge(prefix + "branch_misses",
+                   static_cast<double>(counts.branch_misses));
+    snap.add_gauge(prefix + "ipc", counts.ipc());
+  }
+}
+
+}  // namespace cats::obs::flight
+
+#endif  // CATS_OBS_ENABLED

@@ -1,0 +1,126 @@
+// Hardware performance counters via perf_event_open.
+//
+// Each worker thread opens a small group of per-thread counters (cycles,
+// instructions, cache misses, branch misses) around its measurement loop;
+// the harness folds per-thread readings into per-phase totals ("prefill",
+// "measure") so a run reports cycles-per-op and IPC next to throughput.
+//
+// Graceful degradation is the contract: perf_event_open commonly fails in
+// containers (EPERM under perf_event_paranoid >= 2, seccomp) and does not
+// exist off Linux.  In every such case the counters report
+// available == false with a reason string and the run proceeds — a
+// benchmark must never die because the host withholds PMU access.
+//
+// `PerfCounts` is a plain value struct usable in every build; the live
+// machinery is compiled out with the rest of the stack under CATS_OBS=OFF
+// (header stubs keep call sites unchanged).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace cats::obs {
+struct Snapshot;  // export.hpp
+}
+
+namespace cats::obs::flight {
+
+struct PerfCounts {
+  bool available = false;
+  /// Why the counters are off (empty when available); e.g. "EPERM
+  /// (perf_event_paranoid?)" or "compiled out (CATS_OBS=OFF)".
+  std::string unavailable_reason;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t branch_misses = 0;
+  /// Threads folded into this reading (1 for a ThreadPerf::stop result).
+  std::uint32_t threads = 0;
+
+  double ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(instructions) /
+                             static_cast<double>(cycles);
+  }
+
+  PerfCounts& operator+=(const PerfCounts& other) {
+    if (other.available) {
+      available = true;
+      cycles += other.cycles;
+      instructions += other.instructions;
+      cache_misses += other.cache_misses;
+      branch_misses += other.branch_misses;
+      threads += other.threads;
+    } else if (unavailable_reason.empty()) {
+      unavailable_reason = other.unavailable_reason;
+    }
+    return *this;
+  }
+};
+
+#if CATS_OBS_ENABLED
+
+/// Per-thread counter group.  Construct on the measuring thread; start()
+/// zeroes and arms, stop() disarms and reads.  Never throws, never fails
+/// the caller: an unavailable host yields available == false readings.
+class ThreadPerf {
+ public:
+  ThreadPerf();
+  ~ThreadPerf();
+  ThreadPerf(const ThreadPerf&) = delete;
+  ThreadPerf& operator=(const ThreadPerf&) = delete;
+
+  bool available() const { return available_; }
+  const std::string& unavailable_reason() const { return reason_; }
+
+  void start();
+  PerfCounts stop();
+
+ private:
+  enum { kCycles, kInstructions, kCacheMisses, kBranchMisses, kCounters };
+  int fds_[kCounters] = {-1, -1, -1, -1};
+  bool available_ = false;
+  std::string reason_;
+};
+
+/// Folds one thread's reading into the named phase's process-wide total.
+void perf_phase_add(const std::string& phase, const PerfCounts& counts);
+/// Per-phase totals in first-use order.
+std::vector<std::pair<std::string, PerfCounts>> perf_phase_totals();
+void perf_phase_reset();
+
+/// Appends every phase total as gauges (perf_<phase>_cycles, ..._ipc,
+/// ..._threads) to a Snapshot — used by the final metrics dump.
+void append_perf_phases(Snapshot& snap);
+
+#else  // !CATS_OBS_ENABLED
+
+class ThreadPerf {
+ public:
+  bool available() const { return false; }
+  const std::string& unavailable_reason() const {
+    static const std::string reason = "compiled out (CATS_OBS=OFF)";
+    return reason;
+  }
+  void start() {}
+  PerfCounts stop() {
+    PerfCounts c;
+    c.unavailable_reason = unavailable_reason();
+    return c;
+  }
+};
+
+inline void perf_phase_add(const std::string&, const PerfCounts&) {}
+inline std::vector<std::pair<std::string, PerfCounts>> perf_phase_totals() {
+  return {};
+}
+inline void perf_phase_reset() {}
+inline void append_perf_phases(Snapshot&) {}
+
+#endif  // CATS_OBS_ENABLED
+
+}  // namespace cats::obs::flight

@@ -24,15 +24,32 @@
 // paper's own Tables 1-2 use.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "obs/histogram.hpp"
 
 namespace cats::obs {
 
 struct Snapshot;  // export.hpp
+
+/// Contention-heatmap record for one base node: where it sits (route depth
+/// and the lower bound of its key interval) and how much contention it has
+/// absorbed (CAS-failure and help tallies carried across replacement by
+/// the lfca heat hooks; CATS_OBS builds only — always zero otherwise).
+struct BaseHeat {
+  std::uint32_t depth = 0;
+  long long key_lo = 0;           // lower bound of the base's key interval
+  std::uint64_t cas_fails = 0;
+  std::uint64_t helps = 0;
+  std::uint64_t items = 0;        // container occupancy at walk time
+  std::int64_t stat = 0;          // contention statistic at walk time
+
+  std::uint64_t heat() const { return cas_fails + helps; }
+};
 
 struct TopologySnapshot {
   // --- node census ---------------------------------------------------------
@@ -54,6 +71,18 @@ struct TopologySnapshot {
   std::int64_t stat_min = 0;        // most join-leaning statistic seen
   std::int64_t stat_max = 0;        // most split-leaning statistic seen
   HistogramSnapshot stat_abs;       // |stat| per base node (drift magnitude)
+
+  // --- contention heatmap (CATS_OBS builds; all zero otherwise) ------------
+  /// Hottest bases retained per snapshot.
+  static constexpr std::size_t kMaxHotBases = 8;
+  std::uint64_t heat_cas_fails = 0; // CAS-failure tallies over all bases
+  std::uint64_t heat_helps = 0;     // help tallies over all bases
+  /// Top-kMaxHotBases bases by heat(), hottest first; bases with zero heat
+  /// never enter.
+  std::vector<BaseHeat> hot_bases;
+
+  /// Folds one walked base into the totals and the top-K list.
+  void add_base_heat(const BaseHeat& base);
 
   double mean_occupancy() const {
     return base_nodes == 0 ? 0.0

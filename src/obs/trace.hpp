@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/padded.hpp"
+#include "obs/counters.hpp"  // kShards / shard_index()
 
 namespace cats::obs {
 
@@ -32,6 +33,10 @@ enum class AdaptKind : std::uint8_t {
   kSplitFailed,   // split lost its CAS (or the leaf was too small)
   kJoin,          // low-contention adaptation completed
   kJoinAborted,   // secure_join failed or was killed by another thread
+  kEpochAdvance,  // EBR global epoch incremented (src/reclaim/ebr.cpp);
+                  // rides in this trace so reclamation progress appears on
+                  // the same timeline as the adaptations (depth is 0, stat
+                  // carries the new epoch)
 };
 
 inline const char* adapt_kind_name(AdaptKind k) {
@@ -40,6 +45,7 @@ inline const char* adapt_kind_name(AdaptKind k) {
     case AdaptKind::kSplitFailed: return "split_failed";
     case AdaptKind::kJoin: return "join";
     case AdaptKind::kJoinAborted: return "join_aborted";
+    case AdaptKind::kEpochAdvance: return "epoch_advance";
   }
   return "?";
 }

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/flight/annot.hpp"
 #include "obs/registry.hpp"
 
 namespace cats::reclaim {
@@ -181,7 +182,10 @@ void Domain::retire(void* ptr, void (*deleter)(void*)) {
   pending_.fetch_add(1, std::memory_order_relaxed);
   CATS_OBS_ONLY(obs::count(obs::GCounter::kEbrRetired));
   if (++ctx.retire_count % kDrainThreshold == 0) {
-    try_advance();
+    // A failed advance means some reader still pins the epoch and this
+    // thread's garbage backlog keeps growing — annotated on the current
+    // flight-recorder span as an epoch wait.
+    if (!try_advance()) CATS_OBS_ONLY(obs::flight::note_epoch_wait());
     free_eligible(ctx.retired, global_epoch_.load(std::memory_order_acquire));
   }
 }
@@ -205,7 +209,13 @@ bool Domain::try_advance() {
   const bool advanced = global_epoch_.compare_exchange_strong(
       e, e + 1, std::memory_order_acq_rel);
   CATS_OBS_ONLY({
-    if (advanced) obs::count(obs::GCounter::kEbrAdvances);
+    if (advanced) {
+      obs::count(obs::GCounter::kEbrAdvances);
+      // Instant event on the merged timeline (depth unused; stat carries
+      // the new epoch, truncated — fine for a visual marker).
+      obs::trace_adapt(obs::AdaptKind::kEpochAdvance, 0,
+                       static_cast<std::int32_t>(e + 1));
+    }
   });
   return advanced;
 }

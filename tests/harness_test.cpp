@@ -222,6 +222,48 @@ TEST(Cli, RejectsBadThreadLists) {
   EXPECT_EQ(r.opt.threads, (std::vector<int>{4}));
 }
 
+TEST(Cli, TraceFlagsParseWhenRecorderCompiledIn) {
+  if (!obs::kEnabled) GTEST_SKIP() << "flight recorder compiled out";
+  const ParseResult r =
+      parse_args({"--trace-out=t.json", "--trace-sample-shift=4"});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.opt.trace_out, "t.json");
+  EXPECT_EQ(r.opt.trace_sample_shift, 4);
+  // Default: no trace file, moderate sampling.
+  const ParseResult d = parse_args({});
+  ASSERT_TRUE(d.ok) << d.error;
+  EXPECT_TRUE(d.opt.trace_out.empty());
+  EXPECT_EQ(d.opt.trace_sample_shift, 10);
+}
+
+TEST(Cli, TraceFlagsRejectBadValues) {
+  // An empty path is an error in every build.
+  EXPECT_FALSE(parse_args({"--trace-out="}).ok);
+  if (!obs::kEnabled) GTEST_SKIP() << "flight recorder compiled out";
+  const ParseResult r = parse_args({"--trace-sample-shift=21"});
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("--trace-sample-shift"), std::string::npos);
+  EXPECT_NE(r.error.find("21"), std::string::npos);
+  EXPECT_FALSE(parse_args({"--trace-sample-shift=-1"}).ok);
+  EXPECT_FALSE(parse_args({"--trace-sample-shift=abc"}).ok);
+  EXPECT_FALSE(parse_args({"--trace-sample-shift="}).ok);
+}
+
+TEST(Cli, TraceFlagsHardFailWhenRecorderCompiledOut) {
+  // A trace request against a build with no recorder must refuse loudly —
+  // silently producing no trace would be worse than an error.
+  if (obs::kEnabled) GTEST_SKIP() << "flight recorder compiled in";
+  const ParseResult r = parse_args({"--trace-out=t.json"});
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.error,
+            "--trace-out: flight recorder compiled out (CATS_OBS=OFF)");
+  const ParseResult s = parse_args({"--trace-sample-shift=4"});
+  ASSERT_FALSE(s.ok);
+  EXPECT_EQ(s.error,
+            "--trace-sample-shift: flight recorder compiled out "
+            "(CATS_OBS=OFF)");
+}
+
 TEST(Cli, RejectsUnknownFlags) {
   const ParseResult r = parse_args({"--frobnicate=9"});
   ASSERT_FALSE(r.ok);

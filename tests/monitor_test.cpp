@@ -15,12 +15,17 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
 
+#include "harness/runner.hpp"
 #include "obs/export.hpp"
+#include "obs/flight/flight.hpp"
 #include "obs/http_server.hpp"
+#include "obs/json.hpp"
 #include "obs/monitor.hpp"
 #include "obs/topology.hpp"
 
@@ -241,6 +246,48 @@ TEST(HttpServer, HeadRequestOmitsBody) {
   EXPECT_NE(head.find("Content-Length: 3"), std::string::npos);
   EXPECT_EQ(head.find("\r\n\r\nok"), std::string::npos);
   server.stop();
+}
+
+// MonitoredRun with --trace-out: the ctor enables the flight recorder, the
+// endpoint serves the live trace at /trace.json, and finish() writes the
+// same document (parseable Chrome trace JSON) to the requested file.
+TEST(Monitor, MonitoredRunServesAndWritesTrace) {
+  const char* trace_path = "monitor_test_trace.json";
+  harness::Options opt;
+  opt.monitor_interval_ms = 0;  // no sampler thread; trace only
+  opt.monitor_port = 0;         // ephemeral endpoint
+  opt.trace_out = trace_path;
+  opt.trace_sample_shift = 0;  // record every span
+  std::atomic<std::uint64_t> ops{0};
+  {
+    harness::MonitoredRun run(opt, counting_source(ops));
+    ASSERT_GT(run.port(), 0);
+    ASSERT_TRUE(obs::flight::Recorder::instance().enabled());
+    for (Key k = 0; k < 5; ++k) {
+      const obs::flight::SpanStart s = obs::flight::begin_span();
+      obs::flight::end_span(s, obs::flight::SpanKind::kLookup, k);
+    }
+    const std::string body = http_get(run.port(), "/trace.json");
+    EXPECT_NE(body.find("200 OK"), std::string::npos);
+    EXPECT_NE(body.find("Content-Type: application/json"),
+              std::string::npos);
+    EXPECT_NE(body.find("\"traceEvents\""), std::string::npos);
+    run.finish();
+    EXPECT_FALSE(obs::flight::Recorder::instance().enabled());
+  }
+
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in) << "finish() did not write " << trace_path;
+  std::stringstream file;
+  file << in.rdbuf();
+  const obs::json::Value doc = obs::json::parse(file.str());
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+  std::size_t op_spans = 0;
+  for (const obs::json::Value& ev : doc.at("traceEvents").as_array()) {
+    op_spans += ev.at("ph").as_string() == "X";
+  }
+  EXPECT_EQ(op_spans, 5u);
+  std::remove(trace_path);
 }
 
 TEST(HttpServer, SurvivesManySequentialRequests) {

@@ -3,15 +3,21 @@
 // JSON round-trip / Prometheus).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "lfca/lfca_tree.hpp"
 #include "obs/counters.hpp"
 #include "obs/export.hpp"
+#include "obs/flight/annot.hpp"
+#include "obs/flight/flight.hpp"
+#include "obs/flight/perf_counters.hpp"
+#include "obs/flight/perfetto.hpp"
 #include "obs/histogram.hpp"
 #include "obs/json.hpp"
 #include "obs/registry.hpp"
@@ -425,6 +431,324 @@ TEST(ObsIntegration, ForcedAdaptationsReachGlobalTrace) {
   EXPECT_GT(snap.counter("ebr_retired"), 0u);
   EXPECT_GT(snap.counter("treap_node_allocs"), 0u);
 }
+#endif  // CATS_OBS_ENABLED
+
+// ---------------------------------------------------------------------------
+// Flight recorder: sampling, ring accounting, cross-thread merge, the
+// Perfetto writer, and the perf-counter wrapper.
+// ---------------------------------------------------------------------------
+
+TEST(Flight, DisabledPathIsInert) {
+  obs::flight::Recorder::instance().disable();
+  const obs::flight::SpanStart s = obs::flight::begin_span();
+  EXPECT_FALSE(s.active);
+  obs::flight::end_span(s, obs::flight::SpanKind::kInsert, 1);  // no-op
+  EXPECT_FALSE(obs::flight::Recorder::instance().enabled());
+  EXPECT_EQ(obs::flight::Recorder::instance().sample_shift(), -1);
+}
+
+#if CATS_OBS_ENABLED
+
+TEST(Flight, SpanRecordsAnnotationDeltas) {
+  auto& rec = obs::flight::Recorder::instance();
+  rec.enable(0);  // sample every op; enable() also clears the rings
+  ASSERT_TRUE(rec.enabled());
+  EXPECT_EQ(rec.sample_shift(), 0);
+  EXPECT_GT(rec.ticks_per_ns(), 0.0);
+
+  const obs::flight::SpanStart s = obs::flight::begin_span();
+  ASSERT_TRUE(s.active);
+  obs::flight::note_cas_fail();
+  obs::flight::note_cas_fail();
+  obs::flight::note_epoch_wait();
+  obs::flight::note_pool_refill();
+  obs::flight::end_span(s, obs::flight::SpanKind::kInsert, 42);
+  rec.disable();
+
+  const std::vector<obs::flight::SpanEvent> spans = rec.dump();
+  ASSERT_EQ(spans.size(), 1u);
+  const obs::flight::SpanEvent& e = spans[0];
+  EXPECT_EQ(e.kind, obs::flight::SpanKind::kInsert);
+  EXPECT_EQ(e.key_hash, static_cast<std::uint32_t>(mix64(42)));
+  // Only the notes above happened inside the span, so the deltas are exact.
+  EXPECT_EQ(e.cas_fails, 2u);
+  EXPECT_EQ(e.epoch_waits, 1u);
+  EXPECT_EQ(e.pool_refills, 1u);
+  EXPECT_EQ(rec.recorded(), 1u);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(Flight, SamplingIsDeterministicPerThread) {
+  auto& rec = obs::flight::Recorder::instance();
+  // Shift 2 = 1 op in 4.  The enable() generation bump invalidates this
+  // thread's cached countdown, so op 0 is always sampled; then 4, 8, 12.
+  rec.enable(2);
+  EXPECT_EQ(rec.sample_shift(), 2);
+  for (Key k = 0; k < 16; ++k) {
+    const obs::flight::SpanStart s = obs::flight::begin_span();
+    EXPECT_EQ(s.active, k % 4 == 0) << "op " << k;
+    obs::flight::end_span(s, obs::flight::SpanKind::kLookup, k);
+  }
+  rec.disable();
+  EXPECT_EQ(rec.recorded(), 4u);
+  EXPECT_EQ(rec.dump().size(), 4u);
+}
+
+TEST(Flight, RingWraparoundKeepsExactAccounting) {
+  auto& rec = obs::flight::Recorder::instance();
+  rec.enable(0);
+  constexpr std::uint64_t kExtra = 100;
+  constexpr std::uint64_t kTotal =
+      obs::flight::Recorder::kRingSize + kExtra;
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    const obs::flight::SpanStart s = obs::flight::begin_span();
+    ASSERT_TRUE(s.active);
+    obs::flight::end_span(s, obs::flight::SpanKind::kRemove,
+                          static_cast<Key>(i));
+  }
+  rec.disable();
+  // Every span was counted; the ring retains the newest kRingSize and the
+  // overwritten remainder is reported, not silently lost.
+  EXPECT_EQ(rec.recorded(), kTotal);
+  EXPECT_EQ(rec.dropped(), kExtra);
+  const std::vector<obs::flight::SpanEvent> spans = rec.dump();
+  EXPECT_EQ(spans.size(), obs::flight::Recorder::kRingSize);
+  rec.reset();
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_EQ(rec.dump().size(), 0u);
+}
+
+TEST(Flight, DumpMergesThreadsInTimestampOrder) {
+  auto& rec = obs::flight::Recorder::instance();
+  rec.enable(0);
+  constexpr int kThreads = 6;
+  constexpr std::uint64_t kSpansPerThread = 50;
+  // Sequential spawn-and-join: shard assignment is round-robin, so each
+  // new thread writes a distinct ring and nothing is lost to sharing.
+  for (int t = 0; t < kThreads; ++t) {
+    std::thread([t] {
+      for (std::uint64_t i = 0; i < kSpansPerThread; ++i) {
+        const obs::flight::SpanStart s = obs::flight::begin_span();
+        obs::flight::end_span(s, obs::flight::SpanKind::kLookup,
+                              static_cast<Key>(t * 1000 + i));
+      }
+    }).join();
+  }
+  rec.disable();
+
+  const std::vector<obs::flight::SpanEvent> spans = rec.dump();
+  ASSERT_EQ(spans.size(), kThreads * kSpansPerThread);
+  std::vector<bool> seen_thread(obs::kShards, false);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LE(spans[i - 1].t_ns, spans[i].t_ns) << "unsorted at " << i;
+    }
+    ASSERT_LT(spans[i].thread, obs::kShards);
+    seen_thread[spans[i].thread] = true;
+  }
+  std::size_t distinct = 0;
+  for (bool b : seen_thread) distinct += b;
+  EXPECT_GE(distinct, 2u);
+}
+
+TEST(Flight, ChromeTraceJsonSchema) {
+  std::vector<obs::flight::SpanEvent> spans(2);
+  spans[0].t_ns = 1000;  // 1.000 us
+  spans[0].dur_ns = 2500;
+  spans[0].kind = obs::flight::SpanKind::kInsert;
+  spans[0].key_hash = 7;
+  spans[0].thread = 3;
+  spans[0].cas_fails = 2;
+  spans[0].epoch_waits = 1;
+  spans[1].t_ns = 5000;
+  spans[1].dur_ns = 100;
+  spans[1].kind = obs::flight::SpanKind::kRange;
+  spans[1].thread = 4;
+
+  std::vector<obs::TraceEvent> instants(1);
+  instants[0].time_ns = 1500;
+  instants[0].kind = obs::AdaptKind::kSplit;
+  instants[0].depth = 2;
+  instants[0].stat = 5;
+  instants[0].thread = 1;
+
+  std::ostringstream os;
+  obs::flight::write_chrome_trace(os, spans, instants);
+  const obs::json::Value doc = obs::json::parse(os.str());
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ms");
+
+  std::size_t meta = 0, complete = 0, instant = 0;
+  std::uint64_t last_ts_ns = 0;
+  for (const obs::json::Value& ev : doc.at("traceEvents").as_array()) {
+    const std::string ph = ev.at("ph").as_string();
+    if (ph == "M") {
+      ++meta;
+      continue;
+    }
+    // Event rows are merged chronologically (ts is microseconds).
+    const auto ts_ns =
+        static_cast<std::uint64_t>(ev.at("ts").as_number() * 1000.0 + 0.5);
+    EXPECT_GE(ts_ns, last_ts_ns);
+    last_ts_ns = ts_ns;
+    if (ph == "X") {
+      ++complete;
+      if (ev.at("name").as_string() == "insert") {
+        EXPECT_DOUBLE_EQ(ev.at("ts").as_number(), 1.0);
+        EXPECT_DOUBLE_EQ(ev.at("dur").as_number(), 2.5);
+        EXPECT_EQ(ev.at("tid").as_uint(), 3u);
+        EXPECT_EQ(ev.at("args").at("key_hash").as_uint(), 7u);
+        EXPECT_EQ(ev.at("args").at("cas_fails").as_uint(), 2u);
+        EXPECT_EQ(ev.at("args").at("epoch_waits").as_uint(), 1u);
+        EXPECT_EQ(ev.at("args").at("pool_refills").as_uint(), 0u);
+      } else {
+        EXPECT_EQ(ev.at("name").as_string(), "range");
+      }
+    } else {
+      ASSERT_EQ(ph, "i");
+      ++instant;
+      EXPECT_EQ(ev.at("name").as_string(), "split");
+      EXPECT_EQ(ev.at("s").as_string(), "g");
+      EXPECT_DOUBLE_EQ(ev.at("ts").as_number(), 1.5);
+      EXPECT_EQ(ev.at("args").at("depth").as_uint(), 2u);
+      EXPECT_EQ(ev.at("args").at("stat").as_uint(), 5u);
+    }
+  }
+  // process_name plus one thread_name per used track (tids 1, 3, 4).
+  EXPECT_EQ(meta, 4u);
+  EXPECT_EQ(complete, 2u);
+  EXPECT_EQ(instant, 1u);
+}
+
+// Producers record spans while the exporter dumps and serializes
+// concurrently — the seqlock discipline must keep this clean under TSan.
+TEST(Flight, ConcurrentProducersAndExporter) {
+  auto& rec = obs::flight::Recorder::instance();
+  rec.enable(4);  // 1 in 16: sampled and unsampled paths both exercised
+  constexpr int kProducers = 4;
+  constexpr std::uint64_t kOps = 20'000;
+  std::atomic<int> running{kProducers};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([t, &running] {
+      for (std::uint64_t i = 0; i < kOps; ++i) {
+        const obs::flight::SpanStart s = obs::flight::begin_span();
+        obs::flight::end_span(s, static_cast<obs::flight::SpanKind>(i % 4),
+                              static_cast<Key>(t * kOps + i));
+      }
+      running.fetch_sub(1, std::memory_order_relaxed);
+    });
+  }
+  // Export continuously while the producers write; each dump must come
+  // back sorted and each serialization well-formed even mid-overwrite.
+  do {
+    const std::vector<obs::flight::SpanEvent> spans = rec.dump();
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      ASSERT_LE(spans[i - 1].t_ns, spans[i].t_ns);
+    }
+    std::ostringstream os;
+    obs::flight::write_chrome_trace(os);
+    EXPECT_NE(os.str().find("\"traceEvents\""), std::string::npos);
+  } while (running.load(std::memory_order_relaxed) > 0);
+  for (auto& p : producers) p.join();
+  rec.disable();
+  // Quiescent again: the per-thread countdowns sampled exactly 1 in 16.
+  EXPECT_EQ(rec.recorded(), kProducers * kOps / 16);
+}
+
+TEST(Flight, PerfCountersDegradeGracefully) {
+  obs::flight::ThreadPerf perf;
+  perf.start();
+  // A little work so available counters read something nonzero.
+  std::uint64_t sink = 0;
+  for (int i = 0; i < 100'000; ++i) sink += static_cast<std::uint64_t>(i);
+  const obs::flight::PerfCounts c = perf.stop();
+  EXPECT_EQ(sink, 99'999ull * 100'000 / 2);
+  if (c.available) {
+    EXPECT_GT(c.cycles, 0u);
+    EXPECT_GT(c.instructions, 0u);
+    EXPECT_EQ(c.threads, 1u);
+    EXPECT_GT(c.ipc(), 0.0);
+  } else {
+    // The contract: never fail, always say why.
+    EXPECT_FALSE(c.unavailable_reason.empty());
+    EXPECT_EQ(c.cycles, 0u);
+  }
+}
+
+TEST(Flight, PerfPhaseTotalsRoundTrip) {
+  obs::flight::perf_phase_reset();
+  obs::flight::PerfCounts a;
+  a.available = true;
+  a.cycles = 1000;
+  a.instructions = 2000;
+  a.threads = 1;
+  obs::flight::perf_phase_add("unit_phase", a);
+  obs::flight::perf_phase_add("unit_phase", a);
+
+  bool found = false;
+  for (const auto& [phase, total] : obs::flight::perf_phase_totals()) {
+    if (phase != "unit_phase") continue;
+    found = true;
+    EXPECT_TRUE(total.available);
+    EXPECT_EQ(total.cycles, 2000u);
+    EXPECT_EQ(total.instructions, 4000u);
+    EXPECT_EQ(total.threads, 2u);
+    EXPECT_DOUBLE_EQ(total.ipc(), 2.0);
+  }
+  EXPECT_TRUE(found);
+
+  obs::Snapshot snap;
+  obs::flight::append_perf_phases(snap);
+  bool saw_cycles = false;
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == "perf_unit_phase_cycles") {
+      saw_cycles = true;
+      EXPECT_DOUBLE_EQ(value, 2000.0);
+    }
+  }
+  EXPECT_TRUE(saw_cycles);
+
+  obs::flight::perf_phase_reset();
+  EXPECT_TRUE(obs::flight::perf_phase_totals().empty());
+}
+
+TEST(ObsExport, PrometheusHotBaseLabeledGauges) {
+  obs::Snapshot snap;
+  for (std::uint32_t rank = 0; rank < 2; ++rank) {
+    obs::Snapshot::HotBase hot;
+    hot.metric = "lfca_topo_hot_base";
+    hot.rank = rank;
+    hot.depth = rank + 1;
+    hot.key_lo = 128 * rank;
+    hot.cas_fails = 50 - rank;
+    hot.helps = 5;
+    hot.items = 100;
+    snap.hot_bases.push_back(hot);
+  }
+  std::ostringstream os;
+  obs::write_prometheus(os, snap);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE cats_lfca_topo_hot_base_cas_fails gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("cats_lfca_topo_hot_base_cas_fails{rank=\"0\","
+                      "depth=\"1\",key_lo=\"0\"} 50"),
+            std::string::npos);
+  EXPECT_NE(text.find("cats_lfca_topo_hot_base_cas_fails{rank=\"1\","
+                      "depth=\"2\",key_lo=\"128\"} 49"),
+            std::string::npos);
+  EXPECT_NE(text.find("cats_lfca_topo_hot_base_helps{rank=\"0\","),
+            std::string::npos);
+  // One TYPE line per family, not per sample.
+  std::size_t type_lines = 0;
+  for (std::size_t pos = 0;
+       (pos = text.find("# TYPE cats_lfca_topo_hot_base_cas_fails", pos)) !=
+       std::string::npos;
+       ++pos) {
+    ++type_lines;
+  }
+  EXPECT_EQ(type_lines, 1u);
+}
+
 #endif  // CATS_OBS_ENABLED
 
 }  // namespace

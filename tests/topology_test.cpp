@@ -15,6 +15,7 @@
 #include "lfca/lfca_tree.hpp"
 #include "obs/export.hpp"
 #include "obs/json.hpp"
+#include "obs/obs.hpp"
 #include "obs/topology.hpp"
 
 namespace {
@@ -122,6 +123,109 @@ TEST(Topology, ExportsThroughSnapshotAndJson) {
   }
   domain.drain();
 }
+
+// --- Contention heatmap. -----------------------------------------------------
+
+TEST(Topology, HotBaseListIsTopKAndSorted) {
+  obs::TopologySnapshot topo;
+  // 12 bases with heat 0..11; only the nonzero ones may enter the list,
+  // the totals must count every one.
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    obs::BaseHeat base;
+    base.depth = i;
+    base.key_lo = 100 * i;
+    base.cas_fails = i;        // heat == i, so base 0 has zero heat
+    base.helps = 0;
+    topo.add_base_heat(base);
+  }
+  ASSERT_EQ(topo.hot_bases.size(), obs::TopologySnapshot::kMaxHotBases);
+  for (std::size_t i = 0; i < topo.hot_bases.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(topo.hot_bases[i - 1].heat(), topo.hot_bases[i].heat());
+    }
+    EXPECT_GT(topo.hot_bases[i].heat(), 0u);
+  }
+  EXPECT_EQ(topo.hot_bases.front().heat(), 11u);
+  // Top-8 of heats 1..11 cuts off at 4.
+  EXPECT_EQ(topo.hot_bases.back().heat(), 4u);
+  EXPECT_EQ(topo.heat_cas_fails, 66u);  // 0+1+...+11: totals see all bases
+  EXPECT_EQ(topo.heat_helps, 0u);
+}
+
+TEST(Topology, HeatmapExportsThroughJson) {
+  obs::TopologySnapshot topo;
+  obs::BaseHeat hot;
+  hot.depth = 3;
+  hot.key_lo = 512;
+  hot.cas_fails = 7;
+  hot.helps = 2;
+  hot.items = 40;
+  hot.stat = -1;
+  topo.add_base_heat(hot);
+
+  std::ostringstream os;
+  obs::write_topology_json(os, topo);
+  const obs::json::Value doc = obs::json::parse(os.str());
+  EXPECT_EQ(doc.at("heat_cas_fails").as_uint(), 7u);
+  EXPECT_EQ(doc.at("heat_helps").as_uint(), 2u);
+  const auto& heatmap = doc.at("heatmap").as_array();
+  ASSERT_EQ(heatmap.size(), 1u);
+  EXPECT_EQ(heatmap[0].at("depth").as_uint(), 3u);
+  EXPECT_EQ(heatmap[0].at("key_lo").as_uint(), 512u);
+  EXPECT_EQ(heatmap[0].at("cas_fails").as_uint(), 7u);
+  EXPECT_EQ(heatmap[0].at("helps").as_uint(), 2u);
+  EXPECT_EQ(heatmap[0].at("items").as_uint(), 40u);
+
+  // And through the Snapshot path: totals as gauges, hot bases as labeled
+  // samples.
+  obs::Snapshot snap;
+  topo.append_to(snap, "topo_");
+  bool saw_total = false;
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == "topo_heat_cas_fails") {
+      saw_total = true;
+      EXPECT_DOUBLE_EQ(value, 7.0);
+    }
+  }
+  EXPECT_TRUE(saw_total);
+  ASSERT_EQ(snap.hot_bases.size(), 1u);
+  EXPECT_EQ(snap.hot_bases[0].metric, "topo_hot_base");
+  EXPECT_EQ(snap.hot_bases[0].rank, 0u);
+  EXPECT_EQ(snap.hot_bases[0].cas_fails, 7u);
+}
+
+#if CATS_OBS_ENABLED
+// Deterministic heat attribution: force a range query to lose its marker
+// CAS (the lfca_test retry idiom), then check that the failure survives
+// base replacement — the pending-carry settles on the live base and the
+// quiescent walk reports it.
+TEST(Topology, RangeCasFailureLandsInHeatmap) {
+  lfca::Config config;
+  config.optimistic_ranges = false;  // route queries through all_in_range
+  reclaim::Domain domain;
+  {
+    lfca::LfcaTree tree(domain, config);
+    for (Key k = 0; k < 100; ++k) tree.insert(k, 1);
+    int fires = 0;
+    tree.testing_range_step_hook = [&](int phase) {
+      // Overwrite a key between the query's descent and its marker CAS.
+      if (phase == 0 && fires++ == 0) tree.insert(50, 999);
+    };
+    std::uint64_t seen = 0;
+    tree.range_query(0, 99, [&](Key, Value) { ++seen; });
+    tree.testing_range_step_hook = nullptr;
+    ASSERT_EQ(seen, 100u);
+    ASSERT_GE(fires, 2);  // the CAS failed and the query re-descended
+
+    const obs::TopologySnapshot topo = tree.collect_topology();
+    check_internal_consistency(topo);
+    EXPECT_GE(topo.heat_cas_fails, 1u);
+    ASSERT_FALSE(topo.hot_bases.empty());
+    EXPECT_GE(topo.hot_bases.front().cas_fails, 1u);
+  }
+  domain.drain();
+}
+#endif  // CATS_OBS_ENABLED
 
 // The stress case: walkers loop collect_topology() while writers insert,
 // remove and force adaptations with hair-trigger thresholds.  EBR must keep
