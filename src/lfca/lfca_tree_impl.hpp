@@ -524,10 +524,15 @@ typename BasicLfcaTree<C>::Node* BasicLfcaTree<C>::secure_join(
     }
   }
 
-  // Lines 234-236.
+  // Lines 234-236.  m is already reachable, but helpers read these three
+  // fields only after observing neigh2 != preparing(), and the neigh2
+  // store below line 243 is the release edge that publishes them.
+  // catslint: pre-publish(read only after neigh2's release store; neigh2 is still preparing())
   m->gparent = gparent;
+  // catslint: pre-publish(read only after neigh2's release store; neigh2 is still preparing())
   m->otherb = (left_child ? parent->right : parent->left)
                   .load(std::memory_order_acquire);
+  // catslint: pre-publish(read only after neigh2's release store; neigh2 is still preparing())
   m->neigh1 = n1;
 
   // Lines 237-243: build the joined base node n2 and attempt to secure the
@@ -830,6 +835,7 @@ const typename C::Node* BasicLfcaTree<C>::all_in_range(
                                            std::memory_order_acq_rel)) {
     result.release();  // ownership moved into the storage
     if (done.size() > 1) {
+      // catslint: pairing(monotonic hint flag; new_stat reads it relaxed on purpose — it only biases the contention statistic, never guards data)
       my_s->more_than_one_base.store(true, std::memory_order_release);
     }
     count_range_query(done.size());

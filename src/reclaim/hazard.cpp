@@ -24,6 +24,7 @@ struct HazardTls {
                                 ctx->retired.end());
       }
       for (std::size_t i = 0; i < HazardDomain::kPerThread; ++i) {
+        // catslint: pairing(pairs with scan, whose seq_cst slot loads go through the range-for alias `hazard` the per-field matrix cannot see through)
         domain->hazards_[ctx->base_slot + i]->store(
             nullptr, std::memory_order_release);
       }

@@ -3,10 +3,16 @@
 concurrency contracts.
 
 Rules (see DESIGN.md, "Static analysis"):
+  R0 dangling-annotation     every catslint annotation still earns its keep
   R1 explicit-memory-order   every atomic op names its memory order
   R2 guard-required          shared-pointer loads happen under EBR/hazard
   R3 retire-not-delete       node types go through Domain::retire
   R4 no-blocking-in-lockfree lock-free paths never block
+  R5 release-acquire-pairing per-field order matrix: release writes have
+                             acquire readers, no relaxed pointer publish
+  R6 immutable-after-publish no plain field writes on published nodes
+  R7 guard-lifetime          loaded pointers die with their guard; CAS
+                             expected values come from the current guard
 
 Engines:
   clang  precise, built on the libclang Python bindings and
@@ -16,7 +22,7 @@ Engines:
   auto   clang when importable, token otherwise
 
 Usage:
-  catslint.py [--src PATH ...] [--engine auto|token|clang]
+  catslint.py [--src PATH ...] [--engine auto|token|clang] [--jobs N]
               [--compdb build/compile_commands.json]
               [--baseline tools/catslint/baseline.json]
               [--disable R2,R4] [--update-baseline] [--json OUT]
@@ -28,6 +34,7 @@ import argparse
 import json
 import os
 import sys
+import time
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
@@ -55,6 +62,52 @@ def discover_sources(paths):
     return sorted(set(out))
 
 
+def _analyze_one(job):
+    """Module-level worker so multiprocessing can pickle it."""
+    path, rel, cfg = job
+    return token_engine.analyze_file(path, rel, cfg)
+
+
+def build_token_models(wanted, cfg, jobs):
+    """FileModels for `wanted`, in input (sorted-path) order regardless
+    of how many workers built them."""
+    work = [(p, os.path.relpath(p, REPO), cfg) for p in wanted]
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    if jobs <= 1 or len(work) <= 1:
+        return [_analyze_one(j) for j in work]
+    import multiprocessing
+    with multiprocessing.Pool(min(jobs, len(work))) as pool:
+        # pool.map preserves input order, so output ordering (and hence
+        # finding order and fingerprints) is identical to the serial run.
+        return pool.map(_analyze_one, work, chunksize=4)
+
+
+def compdb_staleness(compdb_path, wanted):
+    """Error string when compile_commands.json predates the newest
+    analyzed source, None when it is fresh."""
+    try:
+        db_mtime = os.path.getmtime(compdb_path)
+    except OSError:
+        return None  # absence is reported separately
+    newest_path, newest_mtime = None, db_mtime
+    for p in wanted:
+        try:
+            mt = os.path.getmtime(p)
+        except OSError:
+            continue
+        if mt > newest_mtime:
+            newest_path, newest_mtime = p, mt
+    if newest_path is None:
+        return None
+    return (f"compile_commands.json is older than "
+            f"{os.path.relpath(newest_path, REPO)} "
+            f"({time.strftime('%Y-%m-%d %H:%M:%S', time.localtime(db_mtime))}"
+            f" < {time.strftime('%Y-%m-%d %H:%M:%S', time.localtime(newest_mtime))}); "
+            f"the clang engine would analyze a stale build — re-run "
+            f"`cmake -B build -S .` first")
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(prog="catslint", description=__doc__)
     ap.add_argument("--src", action="append", default=[],
@@ -77,8 +130,16 @@ def main(argv=None) -> int:
                     help="rewrite the baseline from current findings")
     ap.add_argument("--json", default="",
                     help="write a JSON report to this path")
+    ap.add_argument("--jobs", "-j", type=int, default=1,
+                    help="worker processes for the token engine "
+                         "(0 = one per CPU; output order is stable)")
+    ap.add_argument("--check-compdb", action="store_true",
+                    help="only verify compile_commands.json exists and is "
+                         "newer than every analyzed source, then exit "
+                         "(0 fresh / 2 missing or stale)")
     ap.add_argument("--verbose", "-v", action="store_true")
     args = ap.parse_args(argv)
+    t0 = time.monotonic()
 
     with open(args.config, encoding="utf-8") as f:
         cfg = json.load(f)
@@ -90,6 +151,19 @@ def main(argv=None) -> int:
     src_paths = args.src or [os.path.join(REPO, "src")]
     wanted = discover_sources(src_paths)
     wanted_rel = {os.path.relpath(p, REPO) for p in wanted}
+
+    if args.check_compdb:
+        if not os.path.exists(args.compdb):
+            print(f"catslint: compile_commands.json not found at "
+                  f"{args.compdb} (configure with "
+                  f"-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)", file=sys.stderr)
+            return 2
+        stale = compdb_staleness(args.compdb, wanted)
+        if stale:
+            print(f"catslint: {stale}", file=sys.stderr)
+            return 2
+        print(f"catslint: {os.path.relpath(args.compdb, REPO)} is fresh")
+        return 0
 
     engine = args.engine
     if engine == "auto":
@@ -107,6 +181,10 @@ def main(argv=None) -> int:
             print(f"catslint: compile_commands.json not found at "
                   f"{args.compdb} (configure with "
                   f"-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)", file=sys.stderr)
+            return 2
+        stale = compdb_staleness(args.compdb, wanted)
+        if stale:
+            print(f"catslint: {stale}", file=sys.stderr)
             return 2
         by_rel = clang_engine.analyze_compdb(args.compdb, REPO, cfg)
         models = [m for rel, m in sorted(by_rel.items())
@@ -128,14 +206,9 @@ def main(argv=None) -> int:
             if rel not in covered:
                 models.append(token_engine.analyze_file(p, rel, cfg))
     else:
-        for p in wanted:
-            rel = os.path.relpath(p, REPO)
-            models.append(token_engine.analyze_file(p, rel, cfg))
+        models = build_token_models(wanted, cfg, args.jobs)
 
-    findings = []
-    for m in models:
-        findings.extend(rules_mod.run_rules(m, cfg, enabled))
-    findings.sort(key=lambda f: (f.file, f.line, f.rule))
+    findings = rules_mod.run_all(models, cfg, enabled)
 
     if args.update_baseline:
         baseline_mod.save(args.baseline, findings)
@@ -164,8 +237,12 @@ def main(argv=None) -> int:
             json.dump(report, fh, indent=2)
             fh.write("\n")
 
+    elapsed = time.monotonic() - t0
     summary = (f"catslint[{engine}]: {len(models)} file(s), "
-               f"{len(new)} new finding(s), {len(old)} baselined")
+               f"{len(new)} new finding(s), {len(old)} baselined "
+               f"({elapsed:.2f}s"
+               + (f", {args.jobs or os.cpu_count()} jobs)"
+                  if engine == "token" and args.jobs != 1 else ")"))
     print(summary, file=sys.stderr)
     return 1 if new else 0
 

@@ -10,10 +10,75 @@ ships only GCC); CI installs python3-clang/libclang and runs this engine.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional
+import re
+from typing import Dict, List, Optional, Set
 
 import cpptok
-from model import (ATOMIC_OPS, AtomicOp, DeleteOp, FileModel, FuncInfo)
+from model import (ATOMIC_OPS, AtomicOp, DeleteOp, FileModel, FlowEvent,
+                   FuncInfo)
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+               "<<=", ">>="}
+_ORDER_RE = re.compile(r"memory_order\s*(?:_|::)\s*(\w+)")
+_IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+def _tok_spellings(cursor) -> List[str]:
+    try:
+        return [t.spelling for t in cursor.get_tokens()]
+    except Exception:
+        return []
+
+
+def _field_before_op(toks: List[str], op: str):
+    """Member/variable an atomic op is invoked on: the identifier left of
+    the `.`/`->` preceding `op(`; `x[i]->op` skips back over the subscript.
+    Returns (name, token_index) or ("", -1)."""
+    for k in range(1, len(toks) - 1):
+        if toks[k] == op and toks[k + 1] == "(" and toks[k - 1] in (".", "->"):
+            j = k - 2
+            if j >= 0 and toks[j] == "]":
+                depth = 0
+                while j >= 0:
+                    if toks[j] == "]":
+                        depth += 1
+                    elif toks[j] == "[":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                    j -= 1
+                j -= 1
+            if j >= 0 and _IDENT_RE.fullmatch(toks[j]):
+                return toks[j], j
+    return "", -1
+
+
+def _receiver_base(toks: List[str], field_idx: int) -> str:
+    """First identifier of the receiver's postfix chain: `m` in
+    `m.root_.load(...)`, `this` for `this->root_`, or the field itself
+    for a bare-member op (ctor initialisation)."""
+    j = field_idx
+    while j - 2 >= 0 and toks[j - 1] in (".", "->") and \
+            _IDENT_RE.fullmatch(toks[j - 2]):
+        j -= 2
+    return toks[j] if j >= 0 else ""
+
+
+class _FnState:
+    """Per-function dataflow state, the clang-side mirror of the token
+    engine's _FnCtx (see token_engine.py)."""
+
+    def __init__(self, is_ctor: bool):
+        self.is_ctor = is_ctor
+        self.newed: Set[str] = set()
+        self.escaped: Set[str] = set()
+        self.published: Set[str] = set()
+        self.loaded: Set[str] = set()
+        self.guards: List[int] = []  # generation stack, one per open scope
+        self.gen_counter = 0
+
+    def cur_gen(self) -> int:
+        return self.guards[-1] if self.guards else 0
 
 
 def available() -> bool:
@@ -64,6 +129,16 @@ class _TuVisitor:
         self.blocking_ids = set(cfg.get("blocking_identifiers", []))
         self.shared_fields = set(cfg.get("shared_atomic_fields", []))
         self.node_types = set(cfg.get("r3", {}).get("node_types", []))
+        self.r6_node_types = set(
+            cfg.get("r6", {}).get("node_types",
+                                  cfg.get("r3", {}).get("node_types", [])))
+        # FuncInfo is a plain dataclass; key the per-function dataflow
+        # state by object identity.
+        self._state: Dict[int, _FnState] = {}
+        self._ptrs: Dict[int, Set[str]] = {}
+
+    def _st(self, f: Optional[FuncInfo]) -> Optional[_FnState]:
+        return self._state.get(id(f)) if f is not None else None
 
     def model_for(self, cursor) -> Optional[FileModel]:
         loc = cursor.location
@@ -119,8 +194,44 @@ class _TuVisitor:
                             def_line=extent.start.line,
                             end_line=extent.end.line)
                         model.funcs.append(f)
+                        st = _FnState(kind == CursorKind.CONSTRUCTOR)
+                        self._state[id(f)] = st
+                        ptrs: Set[str] = set()
+                        self._ptrs[id(f)] = ptrs
+                        try:
+                            for p in child.get_children():
+                                if p.kind != CursorKind.PARM_DECL or \
+                                        "*" not in p.type.spelling:
+                                    continue
+                                pname = p.spelling
+                                if not pname:
+                                    continue
+                                ptee = _spelled_type(p.type)
+                                f.ptr_params[pname] = ptee
+                                ptrs.add(pname)
+                                if ptee in self.r6_node_types:
+                                    f.node_vars.append(pname)
+                        except Exception:
+                            pass
                     walk(child, f if f is not None else enclosing,
                          enclosing_class)
+                    if f is not None:
+                        st = self._state[id(f)]
+                        while st.guards:
+                            f.events.append(FlowEvent(
+                                "guard_close", "", str(st.guards.pop()),
+                                f.end_line))
+                    continue
+                if kind == CursorKind.COMPOUND_STMT and \
+                        enclosing is not None:
+                    st = self._st(enclosing)
+                    mark = len(st.guards) if st is not None else 0
+                    walk(child, enclosing, enclosing_class)
+                    if st is not None:
+                        while len(st.guards) > mark:
+                            enclosing.events.append(FlowEvent(
+                                "guard_close", "", str(st.guards.pop()),
+                                child.extent.end.line))
                     continue
                 self._visit_stmt(child, enclosing, enclosing_class)
                 walk(child, enclosing, enclosing_class)
@@ -145,14 +256,109 @@ class _TuVisitor:
                 f.calls.append((callee, line))
             if callee in self.blocking_ids:
                 f.blocking.append((callee, line))
+            st = self._st(f)
+            if st is not None and callee:
+                try:
+                    known = self._ptrs.get(id(f), set())
+                    for arg in cursor.get_arguments():
+                        at = _tok_spellings(arg)
+                        if len(at) != 1 or not _IDENT_RE.fullmatch(at[0]):
+                            continue
+                        var = at[0]
+                        if var in known or var in st.newed or \
+                                var in st.loaded:
+                            f.events.append(FlowEvent(
+                                "call_arg", var, callee, line))
+                            st.escaped.add(var)
+                except Exception:
+                    pass
             return
 
         if kind == CursorKind.VAR_DECL and f is not None:
             tname = _spelled_type(cursor.type)
+            st = self._st(f)
             if tname in self.guard_types:
                 f.creates_guard = True
+                if st is not None:
+                    st.gen_counter += 1
+                    st.guards.append(st.gen_counter)
+                    f.events.append(FlowEvent(
+                        "guard_open", "", str(st.gen_counter), line))
             if tname in self.blocking_ids:
                 f.blocking.append((tname, line))
+            if st is None:
+                return
+            name = cursor.spelling or ""
+            try:
+                is_ptr = "*" in cursor.type.spelling
+            except Exception:
+                is_ptr = False
+            toks = _tok_spellings(cursor)
+            if is_ptr and name:
+                self._ptrs.setdefault(id(f), set()).add(name)
+                if tname in self.r6_node_types:
+                    f.node_vars.append(name)
+                if "new" in toks:
+                    st.newed.add(name)
+                    if tname in self.r6_node_types:
+                        f.events.append(FlowEvent("new", name, tname, line))
+            if name and "load" in toks and \
+                    any(t in self.shared_fields for t in toks):
+                st.loaded.add(name)
+                f.events.append(FlowEvent(
+                    "shared_load", name, str(st.cur_gen()), line))
+            return
+
+        if kind == CursorKind.BINARY_OPERATOR and f is not None:
+            st = self._st(f)
+            if st is None:
+                return
+            toks = _tok_spellings(cursor)
+            if len(toks) >= 4 and _IDENT_RE.fullmatch(toks[0]) and \
+                    toks[1] in (".", "->") and \
+                    _IDENT_RE.fullmatch(toks[2]) and \
+                    toks[3] in _ASSIGN_OPS:
+                f.events.append(FlowEvent(
+                    "field_write", toks[0], toks[2], line))
+                rhs = toks[4:]
+                if len(rhs) == 1 and rhs[0] in st.newed and \
+                        toks[0] not in st.newed:
+                    st.escaped.add(rhs[0])
+                return
+            if len(toks) >= 3 and _IDENT_RE.fullmatch(toks[0]) and \
+                    toks[1] == "=":
+                rest = toks[2:]
+                if "load" in rest and \
+                        any(t in self.shared_fields for t in rest):
+                    st.loaded.add(toks[0])
+                    f.events.append(FlowEvent(
+                        "shared_load", toks[0], str(st.cur_gen()), line))
+                elif len(rest) == 1 and rest[0] in st.newed:
+                    st.escaped.add(rest[0])
+            return
+
+        if kind == CursorKind.RETURN_STMT and f is not None:
+            st = self._st(f)
+            toks = _tok_spellings(cursor)
+            if st is not None and len(toks) == 2 and toks[0] == "return" \
+                    and _IDENT_RE.fullmatch(toks[1]):
+                var = toks[1]
+                if var in st.loaded:
+                    f.events.append(FlowEvent("use", var, "", line))
+                if var in st.newed:
+                    st.escaped.add(var)
+            return
+
+        if kind == CursorKind.MEMBER_REF_EXPR and f is not None:
+            st = self._st(f)
+            if st is not None and st.loaded:
+                try:
+                    base = next(iter(cursor.get_children()), None)
+                    name = base.spelling if base is not None else ""
+                    if name in st.loaded:
+                        f.events.append(FlowEvent("deref", name, "", line))
+                except Exception:
+                    pass
             return
 
         if kind == CursorKind.CXX_DELETE_EXPR:
@@ -170,28 +376,94 @@ class _TuVisitor:
 
     def _record_atomic(self, model: FileModel, f: FuncInfo,
                        cursor) -> None:
-        from clang.cindex import CursorKind
         op = cursor.spelling
         line = cursor.location.line
-        toks = [t.spelling for t in cursor.get_tokens()]
+        toks = _tok_spellings(cursor)
         has_order = any("memory_order" in t for t in toks)
         seq_cst = any("seq_cst" in t for t in toks)
-        receiver = ""
-        pointee_shared = False
-        for child in cursor.get_children():
-            if child.kind == CursorKind.MEMBER_REF_EXPR:
-                receiver = child.spelling or ""
-                base = next(iter(child.get_children()), None)
-                if base is not None and receiver in self.shared_fields:
-                    pointee_shared = True
-                # member itself named like a shared field, e.g. root_
-                if child.spelling in self.shared_fields:
-                    pointee_shared = True
-                break
+        field, fidx = _field_before_op(toks, op)
+        base = _receiver_base(toks, fidx) if fidx >= 0 else ""
+        pointee_shared = field in self.shared_fields
+        st = self._st(f)
+        known = self._ptrs.get(id(f), set()) if f is not None else set()
+
+        # Argument partition: bare memory-order expressions vs values.
+        def argtoks(a):
+            return _tok_spellings(a)
+
+        def is_order_arg(at):
+            return bool(at) and len(at) <= 5 and \
+                _ORDER_RE.search(" ".join(at)) is not None
+
+        try:
+            args = list(cursor.get_arguments())
+        except Exception:
+            args = []
+        orders: List[str] = []
+        value_args = []
+        for a in args:
+            at = argtoks(a)
+            if is_order_arg(at):
+                m = _ORDER_RE.search(" ".join(at))
+                if m:
+                    orders.append(m.group(1))
+            else:
+                value_args.append(a)
+
+        # Stored value (store/exchange arg0, CAS desired arg1): a `new`
+        # expression or pointer-typed value marks a pointer publication.
+        stores_ptr = False
+        publish_var = None
+        val = None
+        if op in ("store", "exchange") and value_args:
+            val = value_args[0]
+        elif op.startswith("compare_exchange") and len(value_args) >= 2:
+            val = value_args[1]
+        if val is not None:
+            vt = argtoks(val)
+            if "new" in vt[:2]:
+                stores_ptr = True
+            try:
+                if "*" in val.type.spelling:
+                    stores_ptr = True
+            except Exception:
+                pass
+            if len(vt) == 1 and _IDENT_RE.fullmatch(vt[0]):
+                if vt[0] in known or (st is not None and
+                                      (vt[0] in st.newed or
+                                       vt[0] in st.loaded)):
+                    stores_ptr = True
+                    publish_var = vt[0]
+        expected_var = None
+        if op.startswith("compare_exchange") and value_args:
+            et = argtoks(value_args[0])
+            if len(et) == 1 and _IDENT_RE.fullmatch(et[0]):
+                expected_var = et[0]
+
+        bare = base == field or base == "this"
+        recv_unpub = False
+        if st is not None:
+            if not bare and base and base in st.newed and \
+                    base not in st.escaped and base not in st.published:
+                recv_unpub = True
+            elif st.is_ctor and bare:
+                recv_unpub = True
+
         model.atomic_ops.append(AtomicOp(
-            file=model.rel, line=line, op=op, receiver=receiver,
+            file=model.rel, line=line, op=op, receiver=field,
             has_explicit_order=has_order, explicit_seq_cst=seq_cst,
-            enclosing=f.name if f else None))
+            enclosing=f.name if f else None, field=field,
+            orders=tuple(orders), stores_pointer=stores_ptr,
+            receiver_unpublished=recv_unpub))
+
+        if f is not None and st is not None:
+            if publish_var is not None:
+                f.events.append(FlowEvent("publish", publish_var, field,
+                                          line))
+                st.published.add(publish_var)
+            if expected_var is not None:
+                f.events.append(FlowEvent("cas_expected", expected_var,
+                                          str(st.cur_gen()), line))
         if op == "load" and pointee_shared and f is not None:
             f.shared_load_lines.append(line)
 

@@ -1,0 +1,16 @@
+// R0 fixture: must fire — both annotations are dangling: the seq_cst
+// justification sits on an op that now names an explicit relaxed order,
+// and the direct-delete justification outlived the delete it excused.
+#include <atomic>
+
+std::atomic<int> counter{0};
+
+int bump() {
+  // catslint: seq_cst(leftover justification from a removed fence)
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+// catslint: direct-delete(the delete this excused was removed long ago)
+int unused_marker() {
+  return 0;
+}

@@ -1,0 +1,15 @@
+// R0 fixture: must be clean — every annotation still suppresses a live
+// would-be finding (one via its dedicated directive, one via off()).
+#include <atomic>
+
+std::atomic<int> counter{0};
+
+int bump() {
+  // catslint: seq_cst(the global order with the flush flag is load-bearing)
+  return counter.fetch_add(1);
+}
+
+int bump_legacy() {
+  // catslint: off(R1)
+  return counter.fetch_add(1);
+}

@@ -11,8 +11,10 @@ int fast_helper(int x) {
   return g_value.fetch_add(x, std::memory_order_relaxed);
 }
 
+int debug_helper(int x);
+
 int lf_entry(int x) {  // configured lock-free entry point
-  return fast_helper(x);
+  return fast_helper(x) + debug_helper(x);
 }
 
 void report_stats() {  // unreachable from lf_entry: allowed to block
@@ -24,7 +26,7 @@ int lf_entry_with_annotation(int x) {
   return x;
 }
 
-int debug_helper(int x) {
+int debug_helper(int x) {  // reachable from lf_entry: needs the annotation
   // catslint: blocking-ok(debug-only dump path, compiled out in release)
   std::lock_guard<std::mutex> hold(g_report_lock);
   return x;

@@ -1,0 +1,38 @@
+// R5 fixture: must fire — the per-field order matrix is broken four ways:
+// a release store nobody acquires, an acquire load with only relaxed
+// writers, a relaxed store publishing a pointer, and a seq_cst
+// justification claiming a fence pair with a partner that does not exist.
+#include <atomic>
+
+struct Obj {
+  int v{0};
+};
+
+struct State {
+  std::atomic<int> head{0};
+  std::atomic<int> tail{0};
+  std::atomic<Obj*> slot{nullptr};
+  std::atomic<int> fence{0};
+};
+
+State g;
+
+void writer() {
+  g.head.store(1, std::memory_order_release);  // no acquire reader anywhere
+  g.tail.store(2, std::memory_order_relaxed);  // the only write to tail
+}
+
+int reader() {
+  int h = g.head.load(std::memory_order_relaxed);
+  int t = g.tail.load(std::memory_order_acquire);  // nothing releases tail
+  return h + t;
+}
+
+void publish_obj(Obj* o) {
+  g.slot.store(o, std::memory_order_relaxed);  // relaxed pointer publish
+}
+
+void fence_op() {
+  // catslint: seq_cst(pairs with retired_partner; store-load fence)
+  g.fence.store(1);
+}

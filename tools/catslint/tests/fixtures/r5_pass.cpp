@@ -1,0 +1,44 @@
+// R5 fixture: must be clean — every release-side write has an acquire-side
+// reader (and vice versa), the pointer publish uses release, the seq_cst
+// justification names a partner that exists, and the one deliberately
+// unpaired store carries a pairing() annotation.
+#include <atomic>
+
+struct Obj {
+  int v{0};
+};
+
+struct State {
+  std::atomic<int> head{0};
+  std::atomic<Obj*> slot{nullptr};
+  std::atomic<int> fence{0};
+  std::atomic<int> beacon{0};
+};
+
+State g;
+
+void writer() {
+  g.head.store(1, std::memory_order_release);
+}
+
+int reader() {
+  return g.head.load(std::memory_order_acquire);
+}
+
+void publish_obj(Obj* o) {
+  g.slot.store(o, std::memory_order_release);
+}
+
+Obj* take() {
+  return g.slot.load(std::memory_order_acquire);
+}
+
+void fence_op() {
+  // catslint: seq_cst(pairs with reader; store-load fence on the head flag)
+  g.fence.store(1);
+}
+
+void external_pair() {
+  // catslint: pairing(the acquire reader lives in the benchmark harness, outside the analyzed set)
+  g.beacon.store(1, std::memory_order_release);
+}

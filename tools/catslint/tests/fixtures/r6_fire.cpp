@@ -1,0 +1,39 @@
+// R6 fixture: must fire — a node's fields are written non-atomically after
+// the node escaped through an atomic store/CAS, both directly and through
+// a helper the call-graph closure identifies as a mutator.
+#include <atomic>
+
+struct Node {
+  int key{0};
+  std::atomic<int> stat{0};
+};
+
+struct Tree {
+  std::atomic<Node*> head{nullptr};
+};
+
+Tree t;
+
+Node* peek() {
+  return t.head.load(std::memory_order_acquire);
+}
+
+void publish_then_mutate() {
+  auto* n = new Node();
+  n->key = 1;  // fine: still private
+  t.head.store(n, std::memory_order_release);
+  n->key = 2;  // write after publication: readers can observe the tear
+}
+
+void rekey(Node* n) {
+  n->key = 9;  // makes rekey() a mutator in the closure
+}
+
+void publish_by_cas_then_helper() {
+  auto* n = new Node();
+  Node* expected = nullptr;
+  if (t.head.compare_exchange_strong(expected, n,
+                                     std::memory_order_acq_rel)) {
+    rekey(n);  // mutator called on a published node
+  }
+}

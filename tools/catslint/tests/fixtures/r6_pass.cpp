@@ -1,0 +1,39 @@
+// R6 fixture: must be clean — builders fully initialize nodes before the
+// publishing store/CAS, and the one deliberate post-escape write is part
+// of a deferred-init protocol carrying a pre-publish() annotation.
+#include <atomic>
+
+struct Node {
+  int key{0};
+  std::atomic<int> stat{0};
+};
+
+struct Tree {
+  std::atomic<Node*> head{nullptr};
+};
+
+Tree t;
+
+Node* peek() {
+  return t.head.load(std::memory_order_acquire);
+}
+
+void build_and_publish() {
+  auto* n = new Node();
+  n->key = 1;  // private until the store below
+  t.head.store(n, std::memory_order_release);
+}
+
+void cas_publish() {
+  auto* n = new Node();
+  n->key = 3;
+  Node* expected = nullptr;
+  t.head.compare_exchange_strong(expected, n, std::memory_order_acq_rel);
+}
+
+void deferred_init() {
+  auto* n = new Node();
+  t.head.store(n, std::memory_order_release);
+  // catslint: pre-publish(readers spin on stat before touching key; the protocol's release edge is elsewhere)
+  n->key = 2;
+}

@@ -1,0 +1,39 @@
+// R7 fixture: must fire — a pointer loaded under a Guard escapes the
+// guard's scope, and a CAS uses an expected value read under a different
+// guard generation (the ABA window).
+#include <atomic>
+
+struct Guard {
+  explicit Guard(int) {}
+};
+
+struct Rec {
+  int v{0};
+};
+
+struct Map {
+  std::atomic<Rec*> root_{nullptr};
+};
+
+Map m;
+
+Rec* escape_past_guard() {
+  Rec* r = nullptr;
+  {
+    Guard g(0);
+    r = m.root_.load(std::memory_order_acquire);
+  }
+  return r;  // the guard is gone: r may be reclaimed by now
+}
+
+bool aba_cas() {
+  Rec* seen = nullptr;
+  {
+    Guard g1(0);
+    seen = m.root_.load(std::memory_order_acquire);
+  }
+  Guard g2(0);
+  Rec* next_val = nullptr;
+  return m.root_.compare_exchange_strong(seen, next_val,
+                                         std::memory_order_acq_rel);
+}

@@ -1,0 +1,42 @@
+// R7 fixture: must be clean — loaded pointers are used strictly inside
+// their guard's scope, the CAS expected value is read under the same
+// guard that covers the CAS, and the one deliberate escape is pinned.
+#include <atomic>
+
+struct Guard {
+  explicit Guard(int) {}
+};
+
+struct Rec {
+  int v{0};
+};
+
+struct Map {
+  std::atomic<Rec*> root_{nullptr};
+};
+
+Map m;
+
+Rec* load_under_guard() {
+  Guard g(0);
+  Rec* r = m.root_.load(std::memory_order_acquire);
+  return r;  // still inside g's scope
+}
+
+bool cas_same_guard() {
+  Guard g(0);
+  Rec* seen = m.root_.load(std::memory_order_acquire);
+  Rec* next_val = nullptr;
+  return m.root_.compare_exchange_strong(seen, next_val,
+                                         std::memory_order_acq_rel);
+}
+
+Rec* pinned_escape() {
+  Rec* r = nullptr;
+  {
+    Guard g(0);
+    r = m.root_.load(std::memory_order_acquire);
+  }
+  // catslint: pinned(a refcount taken under the guard keeps the node alive)
+  return r;
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Fixture tests for cats-lint.
 
-Every rule R1-R4 is proven LIVE: its firing fixture must yield findings,
+Every rule R0-R7 is proven LIVE: its firing fixture must yield findings,
 and the same run with the rule disabled must yield none (so a silently
 broken or skipped check fails this suite, not just the fixture).  The
 corrected twin of each fixture must pass clean.
@@ -103,6 +103,35 @@ class RuleLiveness(unittest.TestCase):
     def test_r4_passes_nonblocking_closure(self):
         self.assert_clean("r4_pass.cpp")
 
+    def test_r5_fires_on_broken_order_matrix(self):
+        self.assert_fires("r5_fire.cpp", "R5", min_count=4,
+                          must_mention=("release-side", "relaxed",
+                                        "pairs with"))
+
+    def test_r5_passes_paired_matrix(self):
+        self.assert_clean("r5_pass.cpp")
+
+    def test_r6_fires_on_write_after_publish(self):
+        self.assert_fires("r6_fire.cpp", "R6", min_count=2,
+                          must_mention=("published", "immutable"))
+
+    def test_r6_passes_prepublish_builders(self):
+        self.assert_clean("r6_pass.cpp")
+
+    def test_r7_fires_on_guard_escape_and_cross_generation_cas(self):
+        self.assert_fires("r7_fire.cpp", "R7", min_count=2,
+                          must_mention=("guard", "ABA"))
+
+    def test_r7_passes_in_scope_uses(self):
+        self.assert_clean("r7_pass.cpp")
+
+    def test_r0_fires_on_dangling_annotations(self):
+        self.assert_fires("r0_fire.cpp", "R0", min_count=2,
+                          must_mention=("dangling",))
+
+    def test_r0_passes_live_annotations(self):
+        self.assert_clean("r0_pass.cpp")
+
 
 class Baseline(unittest.TestCase):
     def test_update_baseline_then_gate_passes(self):
@@ -133,6 +162,25 @@ class RepoGate(unittest.TestCase):
         self.assertEqual(proc.returncode, 0,
                          f"src/ must lint clean:\n{proc.stdout}\n"
                          f"{proc.stderr}")
+
+
+class ParallelDeterminism(unittest.TestCase):
+    def test_jobs_output_matches_serial(self):
+        """--jobs must not change findings, their order, or the verdict.
+
+        The whole fixture corpus is linted at once (dozens of findings
+        across many files) serially and with a worker pool; byte-identical
+        stdout proves the pool preserves file order and the global rules
+        see the same model sequence.
+        """
+        if ENGINE != "token":
+            self.skipTest("--jobs parallelizes the token engine only")
+        serial = run_lint("--src", FIXTURES, "--jobs", "1")
+        pooled = run_lint("--src", FIXTURES, "--jobs", "4")
+        self.assertEqual(serial.returncode, pooled.returncode)
+        self.assertNotEqual(serial.stdout.strip(), "",
+                            "fixture corpus should produce findings")
+        self.assertEqual(serial.stdout, pooled.stdout)
 
 
 if __name__ == "__main__":

@@ -13,10 +13,16 @@ available, resolves those cases with real type information.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import re
+from typing import Dict, List, Optional, Set, Tuple
 
 import cpptok
-from model import (ATOMIC_OPS, AtomicOp, DeleteOp, FileModel, FuncInfo)
+from model import (ATOMIC_OPS, AtomicOp, DeleteOp, FileModel, FlowEvent,
+                   FuncInfo)
+
+_ID_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+               "<<=", ">>="}
 
 _KEYWORDS = {
     "if", "for", "while", "switch", "return", "sizeof", "alignof",
@@ -33,6 +39,23 @@ _TYPE_KEYWORDS = {
 }
 
 
+class _FnCtx:
+    """Transient per-function dataflow state for the body scan."""
+
+    def __init__(self, symbols: Dict[str, str]):
+        self.symbols = symbols  # var -> pointee type (params + locals)
+        self.newed: Set[str] = set()  # vars allocated with `new` here
+        self.escaped: Set[str] = set()  # passed to a call / stored away
+        self.published: Set[str] = set()  # value argument of an atomic write
+        self.loaded: Set[str] = set()  # bound from a shared atomic load
+        self.guards: List[Tuple[int, int]] = []  # (generation, brace depth)
+        self.gen_counter = 0
+        self.depth = 0
+
+    def cur_gen(self) -> int:
+        return self.guards[-1][0] if self.guards else 0
+
+
 class _Scanner:
     def __init__(self, toks: List[cpptok.Token], model: FileModel,
                  cfg: dict):
@@ -42,6 +65,9 @@ class _Scanner:
         self.guard_types = set(cfg.get("guard_types", []))
         self.blocking_ids = set(cfg.get("blocking_identifiers", []))
         self.shared_fields = set(cfg.get("shared_atomic_fields", []))
+        self.node_types = set(
+            cfg.get("r6", {}).get("node_types",
+                                  cfg.get("r3", {}).get("node_types", [])))
 
     # -- token helpers ----------------------------------------------------
 
@@ -180,10 +206,15 @@ class _Scanner:
             if t in {";", "}", "{", ")"}:
                 break
             if t in {"class", "struct", "union"}:
-                # find the name right after the keyword
+                # find the name right after the keyword; for an
+                # out-of-class definition (`struct Outer::Inner {`) the
+                # class being defined is the LAST component
                 m = k + 1
                 while m < i and self.toks[m][0] != "id":
                     m += 1
+                while m + 2 < i and self.toks[m + 1][1] == "::" and \
+                        self.toks[m + 2][0] == "id":
+                    m += 2
                 name = self.toks[m][1] if m < i else "<anon>"
                 class_stack.append(name)
                 return "class"
@@ -299,10 +330,13 @@ class _Scanner:
                      def_line=self.toks[open_idx][2],
                      end_line=self.toks[end_idx][2])
         symbols = self._param_types(open_idx, k)
+        f.ptr_params = dict(symbols)
         # Constructor initializer lists run code too (atomic ops, calls):
         # start the scan at the signature's ')' when one is present.
         start = k if anchor is not None else brace_idx
         self._scan_body(f, start, end_idx, symbols, class_stack)
+        f.node_vars = sorted(v for v, t in symbols.items()
+                             if t in self.node_types)
         self.model.funcs.append(f)
         return end_idx + 1
 
@@ -330,17 +364,32 @@ class _Scanner:
     def _scan_body(self, f: FuncInfo, start: int, end: int,
                    symbols: Dict[str, str],
                    class_stack: List[str]) -> None:
-        i = start + 1
+        ctx = _FnCtx(symbols)
+        i = start
         while i < end:
             kind, text, line = self.toks[i]
+            # Brace depth drives guard-scope lifetimes (R7): a guard dies
+            # when its declaring block closes.
+            if text == "{":
+                ctx.depth += 1
+                i += 1
+                continue
+            if text == "}":
+                ctx.depth -= 1
+                while ctx.guards and ctx.guards[-1][1] > ctx.depth:
+                    gen, _ = ctx.guards.pop()
+                    f.events.append(
+                        FlowEvent("guard_close", "", str(gen), line))
+                i += 1
+                continue
             if kind != "id" and text != "delete":
                 i += 1
                 continue
             nxt = self.toks[i + 1][1] if i + 1 < end else ""
+            prev = self.toks[i - 1][1] if i > start else ""
 
             # delete expressions ------------------------------------------
             if text == "delete":
-                prev = self.toks[i - 1][1] if i > start else ""
                 if prev == "operator":
                     i += 1
                     continue
@@ -360,6 +409,11 @@ class _Scanner:
                     t = self._new_or_cast_type(j + 1, end)
                     if t:
                         symbols[var] = t
+                        if self.toks[j + 1][1] == "new":
+                            ctx.newed.add(var)
+                            if t in self.node_types:
+                                f.events.append(
+                                    FlowEvent("new", var, t, line))
                 i += 3
                 continue
             if kind == "id" and text not in _TYPE_KEYWORDS and \
@@ -367,7 +421,13 @@ class _Scanner:
                     i + 2 < end and self.toks[i + 2][0] == "id" and \
                     self.toks[i + 2][1] not in _TYPE_KEYWORDS and \
                     i + 3 < end and self.toks[i + 3][1] in {"=", ";", ","}:
-                symbols[self.toks[i + 2][1]] = text
+                var = self.toks[i + 2][1]
+                symbols[var] = text
+                if self.toks[i + 3][1] == "=" and i + 4 < end and \
+                        self.toks[i + 4][1] == "new":
+                    ctx.newed.add(var)
+                    if text in self.node_types:
+                        f.events.append(FlowEvent("new", var, text, line))
                 i += 3
                 continue
 
@@ -376,12 +436,50 @@ class _Scanner:
                     self.toks[i + 1][0] == "id" and i + 2 < end and \
                     self.toks[i + 2][1] in {"(", "{"}:
                 f.creates_guard = True
+                ctx.gen_counter += 1
+                ctx.guards.append((ctx.gen_counter, ctx.depth))
+                f.events.append(
+                    FlowEvent("guard_open", "", str(ctx.gen_counter), line))
                 i += 2
                 continue
 
             # blocking primitives -----------------------------------------
             if text in self.blocking_ids:
                 f.blocking.append((text, line))
+                i += 1
+                continue
+
+            # pointer-variable uses (R6/R7 events) ------------------------
+            if text == "return" and i + 1 < end and \
+                    self.toks[i + 1][0] == "id":
+                rv = self.toks[i + 1][1]
+                if rv in ctx.loaded:
+                    f.events.append(FlowEvent("use", rv, "", line))
+                if rv in ctx.newed:
+                    ctx.escaped.add(rv)
+                i += 1
+                continue
+            if nxt in {"->", "."} and text in symbols:
+                if text in ctx.loaded:
+                    f.events.append(FlowEvent("deref", text, "", line))
+                if i + 3 < end and self.toks[i + 2][0] == "id" and \
+                        self.toks[i + 3][1] in _ASSIGN_OPS:
+                    f.events.append(
+                        FlowEvent("field_write", text,
+                                  self.toks[i + 2][1], line))
+                i += 1
+                continue
+            if prev == "=" and text in ctx.newed and \
+                    nxt in {";", ","}:
+                # the fresh node's address is stored somewhere: it escaped
+                # — unless the destination is a field of another node that
+                # is itself still private (`lb->parent = r` while both are
+                # pre-publication), which keeps the object graph private.
+                if not (i - 4 >= start and
+                        self.toks[i - 2][0] == "id" and
+                        self.toks[i - 3][1] in {"->", "."} and
+                        self.toks[i - 4][1] in ctx.newed):
+                    ctx.escaped.add(text)
                 i += 1
                 continue
 
@@ -413,15 +511,26 @@ class _Scanner:
                         j + 1 < end and self.toks[j + 1][1] == "(":
                     call_paren = j + 1
             if call_paren >= 0:
-                prev = self.toks[i - 1][1] if i > start else ""
                 if prev in {".", "->"} and text in ATOMIC_OPS:
-                    i = self._record_atomic(f, i, end)
+                    i = self._record_atomic(f, i, end, ctx)
                     continue
                 if prev not in {"new", "class", "struct", "enum"}:
                     f.calls.append((text, line))
+                    for arg in self._direct_args(call_paren):
+                        if len(arg) == 1 and arg[0][0] == "id" and \
+                                arg[0][1] in symbols:
+                            f.events.append(
+                                FlowEvent("call_arg", arg[0][1], text,
+                                          line))
+                            ctx.escaped.add(arg[0][1])
                 i += 1
                 continue
             i += 1
+        # The function's end closes every guard still open.
+        end_line = self.toks[end][2] if end < len(self.toks) else 0
+        while ctx.guards:
+            gen, _ = ctx.guards.pop()
+            f.events.append(FlowEvent("guard_close", "", str(gen), end_line))
 
     def _new_or_cast_type(self, i: int, end: int) -> Optional[str]:
         if i < end and self.toks[i][1] == "new":
@@ -492,46 +601,145 @@ class _Scanner:
             in_operator_delete=f.base_name == "operator delete"))
         return j + 1
 
-    def _record_atomic(self, f: FuncInfo, i: int, end: int) -> int:
-        op = self.toks[i][1]
-        line = self.toks[i][2]
-        receiver = self._receiver_text(i - 2)
-        close = self.match_forward(i + 1, "(", ")")
-        has_order = False
-        seq_cst = False
-        # Only memory_order tokens that are direct arguments of THIS call
-        # count (paren depth 1) — a nested atomic op's order must not
-        # satisfy the outer call.
+    def _direct_args(self, open_idx: int) -> List[List[Tuple[str, str, int]]]:
+        """Token runs of each top-level argument of the call at toks[open_idx]."""
+        close = self.match_forward(open_idx, "(", ")")
+        args: List[List[Tuple[str, str, int]]] = []
+        cur: List[Tuple[str, str, int]] = []
         depth = 0
-        j = i + 1
+        j = open_idx
         while j <= close:
             t = self.toks[j][1]
             if t in {"(", "[", "{"}:
                 depth += 1
+                if depth > 1:
+                    cur.append(self.toks[j])
             elif t in {")", "]", "}"}:
                 depth -= 1
-            elif depth == 1 and "memory_order" in t:
-                has_order = True
-                if "seq_cst" in t:
-                    seq_cst = True
-                elif t == "memory_order" and j + 2 <= close and \
-                        self.toks[j + 1][1] == "::" and \
-                        self.toks[j + 2][1] == "seq_cst":
-                    seq_cst = True
+                if depth >= 1:
+                    cur.append(self.toks[j])
+            elif depth == 1 and t == ",":
+                args.append(cur)
+                cur = []
+            else:
+                cur.append(self.toks[j])
             j += 1
+        if cur:
+            args.append(cur)
+        return args
+
+    @staticmethod
+    def _order_name(arg: List[Tuple[str, str, int]]) -> Optional[str]:
+        """The memory-order name an argument denotes, or None.
+
+        Only order tokens at the argument's own top level count — a nested
+        atomic op's order (`x.store(y.load(acquire), release)`) must not
+        turn the value argument into an order argument.
+        """
+        depth = 0
+        for k, (_kind, t, _ln) in enumerate(arg):
+            if t in {"(", "[", "{"}:
+                depth += 1
+            elif t in {")", "]", "}"}:
+                depth -= 1
+            elif depth == 0 and t.startswith("memory_order"):
+                if t.startswith("memory_order_"):
+                    return t[len("memory_order_"):]
+                if t == "memory_order" and k + 2 < len(arg) and \
+                        arg[k + 1][1] == "::":
+                    return arg[k + 2][1]
+        return None
+
+    @staticmethod
+    def _arg_single_id(arg: List[Tuple[str, str, int]]) -> Optional[str]:
+        if len(arg) == 1 and arg[0][0] == "id":
+            return arg[0][1]
+        return None
+
+    def _record_atomic(self, f: FuncInfo, i: int, end: int,
+                       ctx: _FnCtx) -> int:
+        op = self.toks[i][1]
+        line = self.toks[i][2]
+        rstart, receiver = self._receiver_span(i - 2)
+        args = self._direct_args(i + 1)
+        orders: List[str] = []
+        value_args: List[List[Tuple[str, str, int]]] = []
+        for arg in args:
+            name = self._order_name(arg)
+            if name is not None:
+                orders.append(name)
+            else:
+                value_args.append(arg)
+        has_order = bool(orders)
+        seq_cst = "seq_cst" in orders
+
+        recv_ids = [p for p in receiver.split() if _ID_RE.fullmatch(p)]
+        field = recv_ids[-1] if recv_ids else ""
+        base = recv_ids[0] if recv_ids else ""
+
+        # The value whose address this op makes reachable (if any).
+        val: Optional[List[Tuple[str, str, int]]] = None
+        is_cas = op.startswith("compare_exchange")
+        if op in {"store", "exchange"} and value_args:
+            val = value_args[0]
+        elif is_cas and len(value_args) >= 2:
+            val = value_args[1]
+        stores_ptr = False
+        if val:
+            vid = self._arg_single_id(val)
+            if val[0][1] == "new":
+                stores_ptr = True
+            elif vid is not None and vid in ctx.symbols:
+                stores_ptr = True
+
+        recv_unpub = base in ctx.newed and base not in ctx.escaped and \
+            base not in ctx.published
+        # A bare-member (or this->member) op inside a constructor initializes
+        # an object that cannot be reachable yet.
+        if not recv_unpub and (len(recv_ids) == 1 or base == "this"):
+            parts = f.name.split("::")
+            if len(parts) >= 2 and parts[-1] == parts[-2]:
+                recv_unpub = True
+
         self.model.atomic_ops.append(AtomicOp(
             file=self.model.rel, line=line, op=op, receiver=receiver,
             has_explicit_order=has_order, explicit_seq_cst=seq_cst,
-            enclosing=f.name))
+            enclosing=f.name, field=field, orders=tuple(orders),
+            stores_pointer=stores_ptr, receiver_unpublished=recv_unpub))
+
+        # Flow events ----------------------------------------------------
+        if val:
+            vid = self._arg_single_id(val)
+            if vid is not None and vid in ctx.symbols:
+                f.events.append(FlowEvent("publish", vid, field, line))
+                ctx.published.add(vid)
+        if is_cas and value_args:
+            eid = self._arg_single_id(value_args[0])
+            if eid is not None:
+                f.events.append(
+                    FlowEvent("cas_expected", eid, str(ctx.cur_gen()),
+                              line))
+
         if op == "load" and any(fld in receiver.split()
                                 for fld in self.shared_fields):
             f.shared_load_lines.append(line)
+            # `var = <recv>.load(...)` binds the loaded pointer to var
+            # under the innermost open guard generation (R7).
+            if rstart - 2 >= 0 and self.toks[rstart - 1][1] == "=" and \
+                    self.toks[rstart - 2][0] == "id":
+                var = self.toks[rstart - 2][1]
+                f.events.append(
+                    FlowEvent("shared_load", var, str(ctx.cur_gen()),
+                              line))
+                ctx.loaded.add(var)
+                ctx.symbols.setdefault(var, "")
         # Do not swallow the argument list: nested atomic ops, calls and
         # deletes inside it must still be scanned.
         return i + 2
 
-    def _receiver_text(self, i: int) -> str:
-        """Source-ish text of the postfix expression ending at toks[i]."""
+    def _receiver_span(self, i: int) -> Tuple[int, str]:
+        """(start token index, source-ish text) of the postfix expression
+        ending at toks[i]."""
         parts: List[str] = []
         steps = 0
         while i >= 0 and steps < 40:
@@ -561,7 +769,10 @@ class _Scanner:
                 steps += 1
                 continue
             break
-        return " ".join(parts)
+        return i + 1, " ".join(parts)
+
+    def _receiver_text(self, i: int) -> str:
+        return self._receiver_span(i)[1]
 
 
 def analyze_file(path: str, rel: str, cfg: dict) -> FileModel:
