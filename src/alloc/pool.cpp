@@ -5,6 +5,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/catomic.hpp"
 #include "obs/flight/annot.hpp"
 
 namespace cats::alloc {
@@ -64,7 +65,7 @@ struct Central {
   /// Each slot holds the head of a detached same-class chain (or null).
   /// Push: CAS null -> head (release).  Pop: exchange whole slot (acquire).
   /// Whole-chain moves leave no ABA window.
-  std::atomic<void*> transfer[kNumClasses][kTransferSlots] = {};
+  cats::atomic<void*> transfer[kNumClasses][kTransferSlots] = {};
 
   std::mutex overflow_mutex;
   std::vector<void*> overflow[kNumClasses];  // chain heads, cold spill
@@ -73,11 +74,11 @@ struct Central {
   std::vector<void*> slabs;            // carved slabs, never freed
   std::vector<ThreadCache*> caches;    // live thread caches (for stats)
 
-  std::atomic<std::uint64_t> transfer_blocks{0};
-  std::atomic<std::uint64_t> overflow_blocks{0};
-  std::atomic<std::uint64_t> slab_bytes{0};
+  cats::atomic<std::uint64_t> transfer_blocks{0};
+  cats::atomic<std::uint64_t> overflow_blocks{0};
+  cats::atomic<std::uint64_t> slab_bytes{0};
   /// Counters of exited threads, plus events on cache-less threads.
-  std::atomic<std::uint64_t> dead_stats[kStatCount] = {};
+  cats::atomic<std::uint64_t> dead_stats[kStatCount] = {};
 
   static Central& instance() {
     static Central* const central = new Central();  // leaked on purpose
@@ -144,8 +145,8 @@ struct ThreadCache {
   FreeBlock* head[kNumClasses] = {};
   /// Owner-written, read by pool_stats() from other threads: relaxed
   /// atomics, as cheap as plain words on the owner's fast path.
-  std::atomic<std::uint32_t> count[kNumClasses] = {};
-  std::atomic<std::uint64_t> stats[kStatCount] = {};
+  cats::atomic<std::uint32_t> count[kNumClasses] = {};
+  cats::atomic<std::uint64_t> stats[kStatCount] = {};
 
   ThreadCache() {
     Central& central = Central::instance();

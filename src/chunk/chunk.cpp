@@ -6,16 +6,17 @@
 #include <new>
 
 #include "alloc/pool.hpp"
+#include "common/catomic.hpp"
 
 namespace cats::chunk {
 
 namespace {
-std::atomic<std::size_t> g_live_nodes{0};
+cats::atomic<std::size_t> g_live_nodes{0};
 }  // namespace
 
 /// One immutable, exactly-sized sorted array of items.
 struct Node {
-  mutable std::atomic<std::uint64_t> rc;
+  mutable cats::atomic<std::uint64_t> rc;
   std::uint32_t count;
 #if CATS_CHECKED_ENABLED
   /// Canary header; see check/check.hpp.  Like `rc`, initialized by a plain
@@ -36,6 +37,7 @@ Node* allocate(std::uint32_t count) {
   // sizes through the slab pool (oversize chunks fall through to the heap
   // inside pool_alloc).
   void* memory = alloc::pool_alloc(allocation_bytes(count));
+  cats::sim_note_alloc(memory, allocation_bytes(count));
   Node* node = static_cast<Node*>(memory);
   node->rc.store(1, std::memory_order_relaxed);
   node->count = count;
@@ -73,7 +75,9 @@ void decref(const Node* node) noexcept {
     // needs it too (the pool's size classes are keyed on it).
     const std::size_t bytes = allocation_bytes(node->count);
     CATS_CHECKED_ONLY(check::poison(const_cast<Node*>(node), bytes));
-    alloc::pool_free(const_cast<Node*>(node), bytes);
+    if (!cats::sim_quarantine_free(const_cast<Node*>(node), bytes,
+                                   &alloc::pool_free))
+      alloc::pool_free(const_cast<Node*>(node), bytes);
   }
 }
 

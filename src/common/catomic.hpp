@@ -1,0 +1,385 @@
+// catomic.hpp -- simulation-aware atomic / thread shims.
+//
+// Every shared-memory primitive in the concurrent core (src/lfca, src/reclaim,
+// src/treap, src/chunk, src/alloc, src/common) goes through cats::atomic<T>
+// and cats::sim_thread instead of std::atomic / std::thread.
+//
+//   CATS_SIM=OFF (default): pure aliases.  cats::atomic<T> IS std::atomic<T>
+//     and the plain-access / allocation hooks are empty inline functions, so
+//     the production build is bit-identical to the pre-sim code.  The
+//     bench-smoke CI gate enforces that this stays perf-neutral.
+//
+//   CATS_SIM=ON: cats::atomic<T> wraps std::atomic<T> and announces every
+//     operation to the cooperative simulator (src/sim) before executing it.
+//     The simulator serialises threads (one runs at a time), explores
+//     interleavings (DFS with sleep sets + preemption bounds, or seeded
+//     random walks), maintains vector clocks for a happens-before race
+//     detector, and records release/acquire pairings actually observed.
+//     Outside an active exploration (sim::thread_active() == false) every
+//     wrapper degrades to the plain std:: operation, so ordinary tests still
+//     run in a CATS_SIM=ON build.
+//
+// The hook functions live in namespace cats::sim and are implemented by the
+// cats_sim library (src/sim/runtime.cpp).  This header only declares them.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <utility>
+
+#if !defined(CATS_SIM_ENABLED)
+#define CATS_SIM_ENABLED 0
+#endif
+
+#if !CATS_SIM_ENABLED
+
+namespace cats {
+
+// ---------------------------------------------------------------------------
+// Passthrough mode: zero-cost aliases.
+// ---------------------------------------------------------------------------
+
+template <class T>
+using atomic = std::atomic<T>;
+
+using sim_thread = std::thread;
+
+// Instrumented plain (non-atomic) node-field accesses.  In passthrough mode
+// these compile down to the raw read / write.
+template <class T>
+inline T sim_plain_read(const T& v) noexcept {
+  return v;
+}
+
+template <class T, class U>
+inline void sim_plain_write(T& dst, U&& v) {
+  dst = static_cast<T>(std::forward<U>(v));
+}
+
+// Allocation tracking (so the simulator can treat frees as range writes and
+// quarantine reclaimed memory for the duration of an execution).
+inline void sim_note_alloc(void*, std::size_t) noexcept {}
+
+// Returns true when the simulator took ownership of the block (deferred the
+// actual release until the end of the current execution).  Passthrough mode
+// never takes ownership.
+inline bool sim_quarantine_free(void*, std::size_t,
+                                void (*)(void*, std::size_t)) noexcept {
+  return false;
+}
+
+// Guard / retire scheduling-point hooks (EBR enter/exit, Domain::retire).
+inline void sim_point_event(const char*, const void*) noexcept {}
+
+// Deterministic per-thread RNG seeding under simulation.  0 == not simulated.
+inline bool sim_thread_active() noexcept { return false; }
+inline std::uint64_t sim_deterministic_seed() noexcept { return 0; }
+inline std::uint64_t sim_execution_generation() noexcept { return 0; }
+
+}  // namespace cats
+
+#else  // CATS_SIM_ENABLED
+
+#include <source_location>
+
+namespace cats::sim {
+
+// --- hooks implemented by src/sim/runtime.cpp ------------------------------
+
+// True iff the calling thread is managed by an active exploration.
+bool thread_active() noexcept;
+
+enum class OpKind : std::uint8_t {
+  kLoad,
+  kStore,
+  kRmw,       // successful RMW (exchange, fetch_*, CAS that won)
+  kRmwFail,   // CAS that lost (pure load with the failure order)
+  kSpawn,
+  kJoinWait,
+  kThreadExit,
+  kEvent,     // guard enter/exit, retire, ... (named scheduling points)
+};
+
+// Scheduling point: announces the next operation of the calling thread and
+// blocks until the scheduler hands the token back.  Must be called before
+// the operation executes.
+void atomic_pre(const void* addr, bool is_write, std::memory_order order,
+                const std::source_location& loc);
+
+// Post-op bookkeeping (vector clocks, observed release/acquire pairs, trace
+// annotation).  Runs while the calling thread still holds the token.
+void atomic_commit(const void* addr, OpKind kind, std::memory_order order,
+                   const std::source_location& loc);
+
+// Instrumented plain access: race-checked against the vector-clock state,
+// but NOT a scheduling point (happens-before races are schedule-independent
+// within an execution; exploration adds the coverage).
+void plain_access(const void* addr, std::size_t size, bool is_write,
+                  const std::source_location& loc);
+
+// Named scheduling point (guard enter/exit, retire).
+void event_point(const char* tag, const void* addr,
+                 const std::source_location& loc);
+
+// Allocation tracking + quarantine.
+void note_alloc(void* p, std::size_t size) noexcept;
+bool quarantine_free(void* p, std::size_t size, void (*fr)(void*, std::size_t));
+
+// Deterministic seeding support (see lfca thread_rng()).
+std::uint64_t deterministic_seed() noexcept;
+std::uint64_t execution_generation() noexcept;
+
+// sim_thread plumbing.
+int thread_register_child();
+void thread_spawn_point(int child, const std::source_location& loc);
+void thread_enter(int self);
+void thread_exit(int self);
+void thread_join_wait(int child);
+
+// Thrown at scheduling points once an execution blows its step budget, so
+// cooperative threads unwind instead of spinning forever.
+struct Abort {};
+
+}  // namespace cats::sim
+
+namespace cats {
+
+// ---------------------------------------------------------------------------
+// Simulation mode: instrumented wrapper.  All operations take the same
+// memory-order arguments as std::atomic and forward them verbatim; the
+// defaulted std::source_location captures the call site for traces.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+// Failure order derived from a success order, per [atomics.types.operations].
+constexpr std::memory_order cas_failure_order(std::memory_order mo) noexcept {
+  switch (mo) {
+    case std::memory_order_acq_rel:
+      return std::memory_order_acquire;
+    case std::memory_order_release:
+      return std::memory_order_relaxed;
+    default:
+      return mo;
+  }
+}
+
+}  // namespace detail
+
+template <class T>
+class atomic {
+ public:
+  constexpr atomic() noexcept = default;
+  constexpr atomic(T v) noexcept : v_(v) {}
+  atomic(const atomic&) = delete;
+  atomic& operator=(const atomic&) = delete;
+
+  T load(std::memory_order mo = std::memory_order_seq_cst,
+         const std::source_location& loc =
+             std::source_location::current()) const {
+    if (!sim::thread_active()) return v_.load(mo);
+    sim::atomic_pre(&v_, /*is_write=*/false, mo, loc);
+    T r = v_.load(mo);
+    sim::atomic_commit(&v_, sim::OpKind::kLoad, mo, loc);
+    return r;
+  }
+
+  void store(T v, std::memory_order mo = std::memory_order_seq_cst,
+             const std::source_location& loc =
+                 std::source_location::current()) {
+    if (!sim::thread_active()) {
+      v_.store(v, mo);
+      return;
+    }
+    sim::atomic_pre(&v_, /*is_write=*/true, mo, loc);
+    v_.store(v, mo);
+    sim::atomic_commit(&v_, sim::OpKind::kStore, mo, loc);
+  }
+
+  T exchange(T v, std::memory_order mo = std::memory_order_seq_cst,
+             const std::source_location& loc =
+                 std::source_location::current()) {
+    if (!sim::thread_active()) return v_.exchange(v, mo);
+    sim::atomic_pre(&v_, /*is_write=*/true, mo, loc);
+    T r = v_.exchange(v, mo);
+    sim::atomic_commit(&v_, sim::OpKind::kRmw, mo, loc);
+    return r;
+  }
+
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order mo = std::memory_order_seq_cst,
+                               const std::source_location& loc =
+                                   std::source_location::current()) {
+    return cas_impl(expected, desired, mo, detail::cas_failure_order(mo), loc);
+  }
+
+  bool compare_exchange_strong(T& expected, T desired, std::memory_order succ,
+                               std::memory_order fail,
+                               const std::source_location& loc =
+                                   std::source_location::current()) {
+    return cas_impl(expected, desired, succ, fail, loc);
+  }
+
+  bool compare_exchange_weak(T& expected, T desired,
+                             std::memory_order mo = std::memory_order_seq_cst,
+                             const std::source_location& loc =
+                                 std::source_location::current()) {
+    // Under the simulator a weak CAS never fails spuriously: spurious
+    // failures would make replay nondeterministic.
+    return cas_impl(expected, desired, mo, detail::cas_failure_order(mo), loc);
+  }
+
+  template <class U = T>
+  U fetch_add(U d, std::memory_order mo = std::memory_order_seq_cst,
+              const std::source_location& loc =
+                  std::source_location::current()) {
+    if (!sim::thread_active()) return v_.fetch_add(d, mo);
+    sim::atomic_pre(&v_, /*is_write=*/true, mo, loc);
+    U r = v_.fetch_add(d, mo);
+    sim::atomic_commit(&v_, sim::OpKind::kRmw, mo, loc);
+    return r;
+  }
+
+  template <class U = T>
+  U fetch_sub(U d, std::memory_order mo = std::memory_order_seq_cst,
+              const std::source_location& loc =
+                  std::source_location::current()) {
+    if (!sim::thread_active()) return v_.fetch_sub(d, mo);
+    sim::atomic_pre(&v_, /*is_write=*/true, mo, loc);
+    U r = v_.fetch_sub(d, mo);
+    sim::atomic_commit(&v_, sim::OpKind::kRmw, mo, loc);
+    return r;
+  }
+
+ private:
+  bool cas_impl(T& expected, T desired, std::memory_order succ,
+                std::memory_order fail, const std::source_location& loc) {
+    if (!sim::thread_active())
+      return v_.compare_exchange_strong(expected, desired, succ, fail);
+    sim::atomic_pre(&v_, /*is_write=*/true, succ, loc);
+    bool ok = v_.compare_exchange_strong(expected, desired, succ, fail);
+    sim::atomic_commit(&v_, ok ? sim::OpKind::kRmw : sim::OpKind::kRmwFail,
+                       ok ? succ : fail, loc);
+    return ok;
+  }
+
+  std::atomic<T> v_;
+};
+
+// ---------------------------------------------------------------------------
+// sim_thread: std::thread that registers with the scheduler when created
+// inside an active exploration.  Created outside one, it behaves exactly
+// like std::thread.
+// ---------------------------------------------------------------------------
+
+class sim_thread {
+ public:
+  sim_thread() noexcept = default;
+
+  template <class F, class... Args>
+  explicit sim_thread(F&& f, Args&&... args) {
+    if (!sim::thread_active()) {
+      t_ = std::thread(std::forward<F>(f), std::forward<Args>(args)...);
+      return;
+    }
+    sim_id_ = sim::thread_register_child();
+    int child = sim_id_;
+    auto body = [child, fn = std::bind(std::forward<F>(f),
+                                       std::forward<Args>(args)...)]() mutable {
+      sim::thread_enter(child);
+      try {
+        fn();
+      } catch (const sim::Abort&) {
+        // Step-budget abort: unwind quietly; the runtime already recorded it.
+      }
+      sim::thread_exit(child);
+    };
+    t_ = std::thread(std::move(body));
+    sim::thread_spawn_point(child, std::source_location::current());
+  }
+
+  sim_thread(sim_thread&& o) noexcept
+      : t_(std::move(o.t_)), sim_id_(o.sim_id_) {
+    o.sim_id_ = -1;
+  }
+  sim_thread& operator=(sim_thread&& o) noexcept {
+    if (this != &o) {
+      if (t_.joinable()) std::terminate();
+      t_ = std::move(o.t_);
+      sim_id_ = o.sim_id_;
+      o.sim_id_ = -1;
+    }
+    return *this;
+  }
+  sim_thread(const sim_thread&) = delete;
+  sim_thread& operator=(const sim_thread&) = delete;
+
+  ~sim_thread() {
+    // Simulated threads auto-join on destruction so a step-budget abort can
+    // unwind the scenario stack without tripping std::terminate.
+    if (sim_id_ >= 0 && t_.joinable()) join();
+  }
+
+  bool joinable() const noexcept { return t_.joinable(); }
+
+  void join() {
+    if (sim_id_ >= 0) sim::thread_join_wait(sim_id_);
+    t_.join();
+  }
+
+ private:
+  std::thread t_;
+  int sim_id_ = -1;
+};
+
+// --- plain-field instrumentation & allocation hooks ------------------------
+
+template <class T>
+inline T sim_plain_read(const T& v,
+                        const std::source_location& loc =
+                            std::source_location::current()) {
+  if (sim::thread_active())
+    sim::plain_access(&v, sizeof(T), /*is_write=*/false, loc);
+  return v;
+}
+
+template <class T, class U>
+inline void sim_plain_write(T& dst, U&& v,
+                            const std::source_location& loc =
+                                std::source_location::current()) {
+  if (sim::thread_active())
+    sim::plain_access(&dst, sizeof(T), /*is_write=*/true, loc);
+  dst = static_cast<T>(std::forward<U>(v));
+}
+
+inline void sim_note_alloc(void* p, std::size_t size) noexcept {
+  if (sim::thread_active()) sim::note_alloc(p, size);
+}
+
+inline bool sim_quarantine_free(void* p, std::size_t size,
+                                void (*fr)(void*, std::size_t)) {
+  if (!sim::thread_active()) return false;
+  return sim::quarantine_free(p, size, fr);
+}
+
+inline void sim_point_event(const char* tag, const void* addr,
+                            const std::source_location& loc =
+                                std::source_location::current()) {
+  if (sim::thread_active()) sim::event_point(tag, addr, loc);
+}
+
+inline bool sim_thread_active() noexcept { return sim::thread_active(); }
+inline std::uint64_t sim_deterministic_seed() noexcept {
+  return sim::deterministic_seed();
+}
+inline std::uint64_t sim_execution_generation() noexcept {
+  return sim::execution_generation();
+}
+
+}  // namespace cats
+
+#endif  // CATS_SIM_ENABLED

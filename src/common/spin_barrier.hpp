@@ -9,6 +9,7 @@
 #include <cstddef>
 
 #include "common/backoff.hpp"
+#include "common/catomic.hpp"
 
 namespace cats {
 
@@ -36,8 +37,8 @@ class SpinBarrier {
 
  private:
   const std::size_t parties_;
-  std::atomic<std::size_t> remaining_;
-  std::atomic<bool> sense_{false};
+  cats::atomic<std::size_t> remaining_;
+  cats::atomic<bool> sense_{false};
 };
 
 }  // namespace cats

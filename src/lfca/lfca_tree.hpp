@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "common/catomic.hpp"
 #include "common/function_ref.hpp"
 #include "common/padded.hpp"
 #include "common/types.hpp"
@@ -188,7 +189,7 @@ class BasicLfcaTree {
 
   reclaim::Domain& domain_;
   const Config config_;
-  std::atomic<Node*> root_;
+  cats::atomic<Node*> root_;
 
   /// Per-tree statistics: per-thread sharded cells with relaxed increments,
   /// aggregated on read (obs/counters.hpp).

@@ -28,6 +28,7 @@
 #include <cassert>
 
 #include "check/tree_check.hpp"
+#include "common/catomic.hpp"
 #include "common/rng.hpp"
 #include "lfca/lfca_tree.hpp"
 #include "lfca/scratch.hpp"
@@ -41,6 +42,21 @@ namespace detail {
 /// Per-thread generator for the random adaptation probe (paper line 213).
 inline Xoshiro256& thread_rng() {
   thread_local Xoshiro256 rng(mix64(reinterpret_cast<std::uintptr_t>(&rng)));
+#if CATS_SIM_ENABLED
+  // Deterministic replay: the simulator replays a scenario many times in
+  // one process, but thread_local state survives across executions (and the
+  // seed above depends on the TLS address, which varies run to run).
+  // Re-seed from the simulated thread id whenever a new execution begins so
+  // every adaptation probe is a pure function of the schedule.
+  thread_local std::uint64_t seeded_generation = 0;
+  if (cats::sim_thread_active()) {
+    const std::uint64_t generation = cats::sim_execution_generation();
+    if (seeded_generation != generation) {
+      seeded_generation = generation;
+      rng = Xoshiro256(cats::sim_deterministic_seed());
+    }
+  }
+#endif
   return rng;
 }
 
@@ -76,16 +92,16 @@ template <class C>
 Node<C>* new_range_base(Node<C>* b, Key lo, Key hi,
                         ResultStorage<C>* storage) {
   auto* n = new Node<C>(NodeType::kRange);
-  n->parent = b->parent;
-  n->data = b->data;
+  cats::sim_plain_write(n->parent, cats::sim_plain_read(b->parent));
+  cats::sim_plain_write(n->data, cats::sim_plain_read(b->data));
   if (n->data != nullptr) C::incref(n->data);
   n->stat.store(b->stat.load(std::memory_order_relaxed),
                 std::memory_order_relaxed);
   CATS_OBS_ONLY(heat_inherit<C>(n, b));
-  n->lo = lo;
-  n->hi = hi;
+  cats::sim_plain_write(n->lo, lo);
+  cats::sim_plain_write(n->hi, hi);
   storage->add_ref();
-  n->storage = storage;
+  cats::sim_plain_write(n->storage, storage);
   return n;
 }
 
@@ -137,18 +153,19 @@ void BasicLfcaTree<C>::retire(Node* n) {
 template <class C>
 bool BasicLfcaTree<C>::try_replace(Node* b, Node* new_b) {
   bool done = false;
-  if (b->parent == nullptr) {
+  Node* parent = cats::sim_plain_read(b->parent);
+  if (parent == nullptr) {
     Node* expected = b;
     done = root_.compare_exchange_strong(expected, new_b,
                                          std::memory_order_acq_rel);
-  } else if (b->parent->left.load(std::memory_order_acquire) == b) {
+  } else if (parent->left.load(std::memory_order_acquire) == b) {
     Node* expected = b;
-    done = b->parent->left.compare_exchange_strong(
-        expected, new_b, std::memory_order_acq_rel);
-  } else if (b->parent->right.load(std::memory_order_acquire) == b) {
+    done = parent->left.compare_exchange_strong(expected, new_b,
+                                                std::memory_order_acq_rel);
+  } else if (parent->right.load(std::memory_order_acquire) == b) {
     Node* expected = b;
-    done = b->parent->right.compare_exchange_strong(
-        expected, new_b, std::memory_order_acq_rel);
+    done = parent->right.compare_exchange_strong(expected, new_b,
+                                                 std::memory_order_acq_rel);
   }
   if (done) retire(b);
   return done;
@@ -163,7 +180,9 @@ bool BasicLfcaTree<C>::is_replaceable(const Node* n) {
     case NodeType::kJoinMain:
       return n->neigh2.load(std::memory_order_acquire) == Node::aborted();
     case NodeType::kJoinNeighbor: {
-      Node* state = n->main_node->neigh2.load(std::memory_order_acquire);
+      Node* state =
+          cats::sim_plain_read(n->main_node)
+              ->neigh2.load(std::memory_order_acquire);
       return state == Node::aborted() || state == Node::done_mark();
     }
     case NodeType::kRange:
@@ -178,7 +197,7 @@ bool BasicLfcaTree<C>::is_replaceable(const Node* n) {
 // Paper lines 74-86.
 template <class C>
 void BasicLfcaTree<C>::help_if_needed(Node* n) {
-  if (n->type == NodeType::kJoinNeighbor) n = n->main_node;
+  if (n->type == NodeType::kJoinNeighbor) n = cats::sim_plain_read(n->main_node);
   if (n->type == NodeType::kJoinMain) {
     Node* state = n->neigh2.load(std::memory_order_acquire);
     if (state == Node::preparing()) {
@@ -193,12 +212,14 @@ void BasicLfcaTree<C>::help_if_needed(Node* n) {
       complete_join(n);
     }
   } else if (n->type == NodeType::kRange &&
-             n->storage->result.load(std::memory_order_acquire) ==
+             cats::sim_plain_read(n->storage)
+                     ->result.load(std::memory_order_acquire) ==
                  detail::not_set<C>()) {
     count(TreeCounter::kHelps);
     count_obs(TreeCounter::kHelpRanges);
     CATS_OBS_ONLY(n->heat_helps.fetch_add(1, std::memory_order_relaxed));
-    all_in_range(n->lo, n->hi, n->storage);
+    all_in_range(cats::sim_plain_read(n->lo), cats::sim_plain_read(n->hi),
+                 cats::sim_plain_read(n->storage));
   }
 }
 
@@ -252,7 +273,8 @@ typename BasicLfcaTree<C>::Node* BasicLfcaTree<C>::find_base_node(
     Key key) const {
   Node* n = root_.load(std::memory_order_acquire);
   while (n->type == NodeType::kRoute) {
-    n = (key < n->key ? n->left : n->right).load(std::memory_order_acquire);
+    n = (key < cats::sim_plain_read(n->key) ? n->left : n->right)
+            .load(std::memory_order_acquire);
   }
   return n;
 }
@@ -281,13 +303,14 @@ bool BasicLfcaTree<C>::do_update(UpdateKind kind, Key key, Value value) {
       bool changed = false;
       typename C::Ref new_data =
           kind == UpdateKind::kInsert
-              ? C::insert(base->data, key, value, &changed)
-              : C::remove(base->data, key, &changed);
+              ? C::insert(cats::sim_plain_read(base->data), key, value,
+                          &changed)
+              : C::remove(cats::sim_plain_read(base->data), key, &changed);
       // `changed` means replaced-an-existing-item for insert and
       // removed-an-item for remove.
       auto* newb = new Node(NodeType::kNormal);
-      newb->parent = base->parent;
-      newb->data = new_data.release();
+      cats::sim_plain_write(newb->parent, cats::sim_plain_read(base->parent));
+      cats::sim_plain_write(newb->data, new_data.release());
       newb->stat.store(new_stat(base, info), std::memory_order_relaxed);
       CATS_OBS_ONLY(detail::heat_inherit<C>(newb, base));
       if (try_replace(base, newb)) {
@@ -339,7 +362,7 @@ template <class C>
 bool BasicLfcaTree<C>::lookup(Key key, Value* value_out) const {
   reclaim::Domain::Guard guard(domain_);
   Node* base = find_base_node(key);
-  return C::lookup(base->data, key, value_out);
+  return C::lookup(cats::sim_plain_read(base->data), key, value_out);
 }
 
 // ---------------------------------------------------------------------------
@@ -350,7 +373,8 @@ bool BasicLfcaTree<C>::lookup(Key key, Value* value_out) const {
 template <class C>
 bool BasicLfcaTree<C>::high_contention_adaptation(Node* b) {
   count_obs(TreeCounter::kSplitAttempts);
-  if (C::less_than_two_items(b->data)) {
+  const typename C::Node* b_data = cats::sim_plain_read(b->data);
+  if (C::less_than_two_items(b_data)) {
     count_obs(TreeCounter::kSplitRefusedSmall);
     return false;
   }
@@ -358,16 +382,16 @@ bool BasicLfcaTree<C>::high_contention_adaptation(Node* b) {
   typename C::Ref left_data;
   typename C::Ref right_data;
   Key split_key = 0;
-  C::split_evenly(b->data, &left_data, &right_data, &split_key);
+  C::split_evenly(b_data, &left_data, &right_data, &split_key);
 
   auto* r = new Node(NodeType::kRoute);
-  r->key = split_key;
+  cats::sim_plain_write(r->key, split_key);
   auto* lb = new Node(NodeType::kNormal);
-  lb->parent = r;
-  lb->data = left_data.release();
+  cats::sim_plain_write(lb->parent, r);
+  cats::sim_plain_write(lb->data, left_data.release());
   auto* rb = new Node(NodeType::kNormal);
-  rb->parent = r;
-  rb->data = right_data.release();
+  cats::sim_plain_write(rb->parent, r);
+  cats::sim_plain_write(rb->data, right_data.release());
   r->left.store(lb, std::memory_order_relaxed);
   r->right.store(rb, std::memory_order_relaxed);
 #if CATS_OBS_ENABLED
@@ -404,14 +428,15 @@ bool BasicLfcaTree<C>::high_contention_adaptation(Node* b) {
 // Paper lines 268-276.
 template <class C>
 bool BasicLfcaTree<C>::low_contention_adaptation(Node* b) {
-  if (b->parent == nullptr) return false;
+  Node* parent = cats::sim_plain_read(b->parent);
+  if (parent == nullptr) return false;
   count_obs(TreeCounter::kJoinAttempts);
   [[maybe_unused]] const int stat = b->stat.load(std::memory_order_relaxed);
-  [[maybe_unused]] const Key probe = b->parent->key;
+  [[maybe_unused]] const Key probe = cats::sim_plain_read(parent->key);
   Node* m = nullptr;
-  if (b->parent->left.load(std::memory_order_acquire) == b) {
+  if (parent->left.load(std::memory_order_acquire) == b) {
     m = secure_join(b, /*left_child=*/true);
-  } else if (b->parent->right.load(std::memory_order_acquire) == b) {
+  } else if (parent->right.load(std::memory_order_acquire) == b) {
     m = secure_join(b, /*left_child=*/false);
   }
   if (m != nullptr) {
@@ -448,7 +473,7 @@ bool BasicLfcaTree<C>::force_join(Key hint) {
 template <class C>
 typename BasicLfcaTree<C>::Node* BasicLfcaTree<C>::secure_join(
     Node* b, bool left_child) {
-  Node* parent = b->parent;
+  Node* parent = cats::sim_plain_read(b->parent);
   // Line 217: the neighbor is the leaf closest to b on the other side of
   // its parent.
   Node* n0 =
@@ -463,8 +488,8 @@ typename BasicLfcaTree<C>::Node* BasicLfcaTree<C>::secure_join(
 
   // Lines 219-222: replace b with the join_main node m.
   auto* m = new Node(NodeType::kJoinMain);
-  m->parent = b->parent;
-  m->data = b->data;
+  cats::sim_plain_write(m->parent, parent);
+  cats::sim_plain_write(m->data, cats::sim_plain_read(b->data));
   if (m->data != nullptr) C::incref(m->data);
   m->stat.store(b->stat.load(std::memory_order_relaxed),
                 std::memory_order_relaxed);
@@ -483,13 +508,13 @@ typename BasicLfcaTree<C>::Node* BasicLfcaTree<C>::secure_join(
 
   // Lines 223-227: replace the neighbor n0 with the join_neighbor node n1.
   auto* n1 = new Node(NodeType::kJoinNeighbor);
-  n1->parent = n0->parent;
-  n1->data = n0->data;
+  cats::sim_plain_write(n1->parent, cats::sim_plain_read(n0->parent));
+  cats::sim_plain_write(n1->data, cats::sim_plain_read(n0->data));
   if (n1->data != nullptr) C::incref(n1->data);
   n1->stat.store(n0->stat.load(std::memory_order_relaxed),
                  std::memory_order_relaxed);
   CATS_OBS_ONLY(detail::heat_inherit<C>(n1, n0));
-  n1->main_node = m;
+  cats::sim_plain_write(n1->main_node, m);
   m->main_refs.fetch_add(1, std::memory_order_relaxed);  // held by n1
   if (!try_replace(n0, n1)) {
     delete n1;  // catslint: direct-delete(never published; CAS lost)
@@ -528,23 +553,25 @@ typename BasicLfcaTree<C>::Node* BasicLfcaTree<C>::secure_join(
   // fields only after observing neigh2 != preparing(), and the neigh2
   // store below line 243 is the release edge that publishes them.
   // catslint: pre-publish(read only after neigh2's release store; neigh2 is still preparing())
-  m->gparent = gparent;
+  cats::sim_plain_write(m->gparent, gparent);
+  Node* otherb = (left_child ? parent->right : parent->left)
+                     .load(std::memory_order_acquire);
   // catslint: pre-publish(read only after neigh2's release store; neigh2 is still preparing())
-  m->otherb = (left_child ? parent->right : parent->left)
-                  .load(std::memory_order_acquire);
+  cats::sim_plain_write(m->otherb, otherb);
   // catslint: pre-publish(read only after neigh2's release store; neigh2 is still preparing())
-  m->neigh1 = n1;
+  cats::sim_plain_write(m->neigh1, n1);
 
   // Lines 237-243: build the joined base node n2 and attempt to secure the
   // join by publishing it in m->neigh2.
-  Node* joinedp = m->otherb == n1 ? gparent : n1->parent;
+  Node* joinedp = otherb == n1 ? gparent : cats::sim_plain_read(n1->parent);
   auto* n2 = new Node(NodeType::kJoinNeighbor);
-  n2->parent = joinedp;
-  n2->main_node = m;
+  cats::sim_plain_write(n2->parent, joinedp);
+  cats::sim_plain_write(n2->main_node, m);
   m->main_refs.fetch_add(1, std::memory_order_relaxed);  // held by n2
-  n2->data = (left_child ? C::join(m->data, n1->data)
-                         : C::join(n1->data, m->data))
-                 .release();
+  cats::sim_plain_write(
+      n2->data, (left_child ? C::join(m->data, cats::sim_plain_read(n1->data))
+                            : C::join(cats::sim_plain_read(n1->data), m->data))
+                    .release());
 #if CATS_OBS_ENABLED
   // The joined base covers both intervals: its heat is the sum.
   n2->heat_cas_fails.store(
@@ -582,37 +609,44 @@ void BasicLfcaTree<C>::complete_join(Node* m) {
   Node* n2 = m->neigh2.load(std::memory_order_acquire);
   if (n2 == Node::done_mark()) return;
   assert(detail::is_real<C>(n2));
-  try_replace(m->neigh1, n2);  // line 254
-  m->parent->valid.store(false, std::memory_order_release);  // line 255
-  Node* replacement = m->otherb == m->neigh1 ? n2 : m->otherb;
-  if (m->gparent == nullptr) {
-    Node* expected = m->parent;
+  // The plain fields below were published by neigh2's release store (the
+  // pre-publish protocol secured above); each is immutable afterwards, so a
+  // helper may cache them in locals.  The sim_plain_read hooks let the
+  // simulator's race detector verify exactly that pairing.
+  Node* neigh1 = cats::sim_plain_read(m->neigh1);
+  Node* parent = cats::sim_plain_read(m->parent);
+  Node* gparent = cats::sim_plain_read(m->gparent);
+  Node* otherb = cats::sim_plain_read(m->otherb);
+  try_replace(neigh1, n2);                              // line 254
+  parent->valid.store(false, std::memory_order_release);  // line 255
+  Node* replacement = otherb == neigh1 ? n2 : otherb;
+  if (gparent == nullptr) {
+    Node* expected = parent;
     if (root_.compare_exchange_strong(expected, replacement,
                                       std::memory_order_acq_rel)) {
-      retire(m->parent);
+      retire(parent);
       retire(m);
     }
-  } else if (m->gparent->left.load(std::memory_order_acquire) == m->parent) {
-    Node* expected = m->parent;
-    if (m->gparent->left.compare_exchange_strong(
-            expected, replacement, std::memory_order_acq_rel)) {
-      retire(m->parent);
-      retire(m);
-    }
-    Node* expected_id = m;
-    m->gparent->join_id.compare_exchange_strong(expected_id, nullptr,
-                                                std::memory_order_acq_rel);
-  } else if (m->gparent->right.load(std::memory_order_acquire) ==
-             m->parent) {
-    Node* expected = m->parent;
-    if (m->gparent->right.compare_exchange_strong(
-            expected, replacement, std::memory_order_acq_rel)) {
-      retire(m->parent);
+  } else if (gparent->left.load(std::memory_order_acquire) == parent) {
+    Node* expected = parent;
+    if (gparent->left.compare_exchange_strong(expected, replacement,
+                                              std::memory_order_acq_rel)) {
+      retire(parent);
       retire(m);
     }
     Node* expected_id = m;
-    m->gparent->join_id.compare_exchange_strong(expected_id, nullptr,
-                                                std::memory_order_acq_rel);
+    gparent->join_id.compare_exchange_strong(expected_id, nullptr,
+                                             std::memory_order_acq_rel);
+  } else if (gparent->right.load(std::memory_order_acquire) == parent) {
+    Node* expected = parent;
+    if (gparent->right.compare_exchange_strong(expected, replacement,
+                                               std::memory_order_acq_rel)) {
+      retire(parent);
+      retire(m);
+    }
+    Node* expected_id = m;
+    gparent->join_id.compare_exchange_strong(expected_id, nullptr,
+                                             std::memory_order_acq_rel);
   }
   m->neigh2.store(Node::done_mark(), std::memory_order_release);  // line 266
 }
@@ -636,7 +670,9 @@ typename BasicLfcaTree<C>::Node* BasicLfcaTree<C>::parent_of(Node* r) const {
   Node* cur = root_.load(std::memory_order_acquire);
   while (cur != r && cur->type == NodeType::kRoute) {
     prev = cur;
-    cur = (r->key < cur->key ? cur->left : cur->right)
+    cur = (cats::sim_plain_read(r->key) < cats::sim_plain_read(cur->key)
+               ? cur->left
+               : cur->right)
               .load(std::memory_order_acquire);
   }
   return cur == r ? prev : Node::not_found();
@@ -652,7 +688,8 @@ typename BasicLfcaTree<C>::Node* BasicLfcaTree<C>::find_base_stack(
   Node* n = root_.load(std::memory_order_acquire);
   while (n->type == NodeType::kRoute) {
     stack.push_back(n);
-    n = (key < n->key ? n->left : n->right).load(std::memory_order_acquire);
+    n = (key < cats::sim_plain_read(n->key) ? n->left : n->right)
+            .load(std::memory_order_acquire);
   }
   stack.push_back(n);
   return n;
@@ -730,7 +767,8 @@ const typename C::Node* BasicLfcaTree<C>::all_in_range(
     CATS_OBS_ONLY(settle_heat(b));
     if (testing_range_step_hook) testing_range_step_hook(0);
     if (help_s != nullptr) {
-      if (b->type != NodeType::kRange || b->storage != help_s) {
+      if (b->type != NodeType::kRange ||
+          cats::sim_plain_read(b->storage) != help_s) {
         // The helped query has linearized (its first base node would still
         // be irreplaceable otherwise); its result is available.
         return help_s->result.load(std::memory_order_acquire);
@@ -754,7 +792,7 @@ const typename C::Node* BasicLfcaTree<C>::all_in_range(
       b = n;
       break;
     }
-    if (b->type == NodeType::kRange && b->hi >= hi) {
+    if (b->type == NodeType::kRange && cats::sim_plain_read(b->hi) >= hi) {
       // A wider in-flight range query covers ours: help it and use its
       // result (line 179).  Ownership audit: my_s can only be non-null here
       // after a lost CAS above, whose `delete n` already dropped the
@@ -762,7 +800,9 @@ const typename C::Node* BasicLfcaTree<C>::all_in_range(
       // is the last one and the storage is freed — never leaked, never
       // double-released.
       if (my_s != nullptr) my_s->release();  // ours was never installed
-      return all_in_range(b->lo, b->hi, b->storage);
+      return all_in_range(cats::sim_plain_read(b->lo),
+                          cats::sim_plain_read(b->hi),
+                          cats::sim_plain_read(b->storage));
     }
     help_if_needed(b);
   }
@@ -781,7 +821,10 @@ const typename C::Node* BasicLfcaTree<C>::all_in_range(
   while (true) {
     done.push_back(b);
     backup = stack;
-    if (!C::empty(b->data) && C::max_key(b->data) >= hi) break;
+    {
+      const typename C::Node* d = cats::sim_plain_read(b->data);
+      if (!C::empty(d) && C::max_key(d) >= hi) break;
+    }
     bool advanced = false;
     while (!advanced) {
       b = find_next_base_stack(stack);
@@ -794,7 +837,8 @@ const typename C::Node* BasicLfcaTree<C>::all_in_range(
         if (help_s == nullptr) my_s->release();
         return result;
       }
-      if (b->type == NodeType::kRange && b->storage == my_s) {
+      if (b->type == NodeType::kRange &&
+          cats::sim_plain_read(b->storage) == my_s) {
         advanced = true;  // replaced by a concurrent helper of this query
       } else if (is_replaceable(b)) {
         Node* n = detail::new_range_base<C>(b, lo, hi, my_s);
@@ -822,11 +866,12 @@ const typename C::Node* BasicLfcaTree<C>::all_in_range(
   // Collect and publish the result (lines 208-214).
   typename C::Ref result;
   for (std::size_t i = 0; i < done.size(); ++i) {
+    const typename C::Node* d = cats::sim_plain_read(done[i]->data);
     if (i == 0) {
-      if (done[0]->data != nullptr) C::incref(done[0]->data);
-      result = C::Ref::adopt(done[0]->data);
+      if (d != nullptr) C::incref(d);
+      result = C::Ref::adopt(d);
     } else {
-      result = C::join(result.get(), done[i]->data);
+      result = C::join(result.get(), d);
     }
   }
   const typename C::Node* raw = result.get();

@@ -22,6 +22,7 @@
 #include <new>
 
 #include "alloc/pool.hpp"
+#include "common/catomic.hpp"
 #include "check/check.hpp"
 #include "common/types.hpp"
 #include "obs/obs.hpp"
@@ -58,9 +59,9 @@ template <class C>
 struct ResultStorage {
   /// not_set<C>() until the query linearizes; afterwards the joined
   /// container (an owned reference, possibly null for an empty result).
-  std::atomic<const typename C::Node*> result;
-  std::atomic<bool> more_than_one_base{false};
-  std::atomic<std::uint32_t> rc{1};
+  cats::atomic<const typename C::Node*> result;
+  cats::atomic<bool> more_than_one_base{false};
+  cats::atomic<std::uint32_t> rc{1};
 
   ResultStorage() : result(not_set<C>()) {}
   ~ResultStorage() {
@@ -69,11 +70,15 @@ struct ResultStorage {
   }
 
   // Pool-backed storage: range queries allocate one of these per query, on
-  // the hot path of every scan.
+  // the hot path of every scan.  Under CATS_SIM the simulator tracks the
+  // block and quarantines the free until the end of the execution.
   static void* operator new(std::size_t size) {
-    return alloc::pool_alloc(size);
+    void* p = alloc::pool_alloc(size);
+    cats::sim_note_alloc(p, size);
+    return p;
   }
   static void operator delete(void* p, std::size_t size) {
+    if (cats::sim_quarantine_free(p, size, &alloc::pool_free)) return;
     alloc::pool_free(p, size);
   }
 
@@ -93,23 +98,23 @@ struct Node {
 
   // --- route_node fields -------------------------------------------------
   Key key = 0;
-  std::atomic<Node*> left{nullptr};
-  std::atomic<Node*> right{nullptr};
-  std::atomic<bool> valid{true};
-  std::atomic<Node*> join_id{nullptr};
+  cats::atomic<Node*> left{nullptr};
+  cats::atomic<Node*> right{nullptr};
+  cats::atomic<bool> valid{true};
+  cats::atomic<Node*> join_id{nullptr};
 
   // --- fields shared by every base-node type ------------------------------
   /// Owned reference to the immutable leaf container (may be null = empty).
   const typename C::Node* data = nullptr;
   /// Contention statistics (paper's `stat`).
-  std::atomic<int> stat{0};
+  cats::atomic<int> stat{0};
   /// Parent route node, or null if this base node is the root.
   Node* parent = nullptr;
 
   // --- join_main fields ----------------------------------------------------
   Node* neigh1 = nullptr;
   /// preparing() -> (joined replacement node | aborted()) -> done().
-  std::atomic<Node*> neigh2{nullptr};
+  cats::atomic<Node*> neigh2{nullptr};
   Node* gparent = nullptr;
   Node* otherb = nullptr;
   /// Lifetime references to this join_main node: one for the tree slot plus
@@ -118,7 +123,7 @@ struct Node {
   /// reachable long after the join completes, and is_replaceable() follows
   /// its main_node pointer — so the main node must outlive every neighbor
   /// that references it, not just its own reclamation grace period.
-  std::atomic<std::uint32_t> main_refs{1};
+  cats::atomic<std::uint32_t> main_refs{1};
 
 #if CATS_OBS_ENABLED
   /// Contention-heatmap tallies (obs builds): CAS failures charged to this
@@ -129,8 +134,8 @@ struct Node {
   /// node and is dropped — the same best-effort contract as the in-place
   /// stat feed in do_update.  The topology walk reads them into the
   /// route-node contention heatmap (obs/topology.hpp).
-  std::atomic<std::uint64_t> heat_cas_fails{0};
-  std::atomic<std::uint64_t> heat_helps{0};
+  cats::atomic<std::uint64_t> heat_cas_fails{0};
+  cats::atomic<std::uint64_t> heat_helps{0};
 #endif
 
   // --- join_neighbor fields -------------------------------------------------
@@ -154,7 +159,9 @@ struct Node {
   /// deleters land here too (they run `delete node`), which is how
   /// grace-period expiry returns nodes to the owning pool.
   static void* operator new(std::size_t size) {
-    return alloc::pool_alloc(size);
+    void* p = alloc::pool_alloc(size);
+    cats::sim_note_alloc(p, size);
+    return p;
   }
 
   /// Poison-on-free (CATS_CHECKED): runs after the destructor, while the
@@ -164,9 +171,11 @@ struct Node {
   /// could have observed it remains (direct deletes of never-published
   /// nodes are trivially safe).  The pool's free-list link overwrites only
   /// the first word, past which the poison and the dead canary survive
-  /// while the block sits in a cache.
+  /// while the block sits in a cache.  Under CATS_SIM the storage release
+  /// is quarantined so the simulator can flag any later touch as a race.
   static void operator delete(void* p, std::size_t size) {
     CATS_CHECKED_ONLY(check::poison(p, size));
+    if (cats::sim_quarantine_free(p, size, &alloc::pool_free)) return;
     alloc::pool_free(p, size);
   }
 

@@ -53,11 +53,17 @@ Domain::~Domain() {
   // All other threads must have exited or been joined by now (lifetime
   // contract), which means their TLS destructors already ran.
   auto& tls = DomainTls::instance();
-  for (auto& entry : tls.entries) {
-    if (entry.domain == this) {
-      unregister(entry.ctx);
-      entry.domain = nullptr;
-    }
+  std::erase_if(tls.entries, [this](DomainTls::Entry& entry) {
+    if (entry.domain != this) return false;
+    unregister(entry.ctx);
+    return true;
+  });
+  // A successor domain can be constructed at this address (per-execution
+  // domains in the sim tests live on the driver's stack): drop the
+  // one-entry cache so it cannot resolve to the dead context.
+  if (tl_cached_domain == this) {
+    tl_cached_domain = nullptr;
+    tl_cached_ctx = nullptr;
   }
   for (auto& slot : slots_) {
     if (slot->owner.load(std::memory_order_acquire) != nullptr) {
@@ -138,6 +144,7 @@ void Domain::unregister(ThreadCtx* ctx) {
 void Domain::enter() {
   ThreadCtx& ctx = context();
   if (ctx.guard_depth++ == 0) {
+    cats::sim_point_event("ebr_guard_enter", this);
     const std::uint64_t e = global_epoch_.load(std::memory_order_relaxed);
     // seq_cst: the announcement must become visible before any subsequent
     // load of shared pointers, or try_advance could miss this reader.
@@ -149,6 +156,7 @@ void Domain::enter() {
 void Domain::exit() {
   ThreadCtx& ctx = context();
   if (--ctx.guard_depth == 0) {
+    cats::sim_point_event("ebr_guard_exit", this);
     slots_[ctx.slot_index]->announced.store(kIdle, std::memory_order_release);
   }
 }
@@ -177,6 +185,7 @@ void Domain::enqueue_retirement(void* ptr, void (*deleter)(void*)) {
 void Domain::retire(void* ptr, void (*deleter)(void*)) {
 #endif
   ThreadCtx& ctx = context();
+  cats::sim_point_event("ebr_retire", this);
   const std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
   ctx.retired.push_back({ptr, deleter, e});
   pending_.fetch_add(1, std::memory_order_relaxed);
@@ -252,8 +261,36 @@ void Domain::drain() {
   for (int i = 0; i < 3; ++i) try_advance();
   const std::uint64_t global = global_epoch_.load(std::memory_order_acquire);
   free_eligible(ctx.retired, global);
-  std::lock_guard<std::mutex> lock(orphan_mutex_);
-  free_eligible(orphans_, global);
+  // Run orphan deleters outside the lock: deleters touch shared state
+  // (refcounts, pools) and must not serialise — or, under CATS_SIM, hit a
+  // scheduling point — while orphan_mutex_ is held.  Survivors (and
+  // anything unregistered concurrently) are appended back afterwards.
+  std::vector<Retired> grabbed;
+  {
+    std::lock_guard<std::mutex> lock(orphan_mutex_);
+    grabbed.swap(orphans_);
+  }
+  free_eligible(grabbed, global);
+  if (!grabbed.empty()) {
+    std::lock_guard<std::mutex> lock(orphan_mutex_);
+    orphans_.insert(orphans_.end(), grabbed.begin(), grabbed.end());
+  }
+}
+
+void Domain::detach_current_thread() {
+  // Erase the entry rather than nulling it: a sim run creates thousands
+  // of short-lived per-execution domains on one driver thread, and dead
+  // entries would make every context() lookup a linear scan over them.
+  auto& tls = DomainTls::instance();
+  std::erase_if(tls.entries, [this](DomainTls::Entry& entry) {
+    if (entry.domain != this) return false;
+    unregister(entry.ctx);
+    return true;
+  });
+  if (tl_cached_domain == this) {
+    tl_cached_domain = nullptr;
+    tl_cached_ctx = nullptr;
+  }
 }
 
 std::size_t Domain::pending() const {

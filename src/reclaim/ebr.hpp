@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "check/check.hpp"
+#include "common/catomic.hpp"
 #include "common/padded.hpp"
 
 #if CATS_CHECKED_ENABLED
@@ -113,6 +114,13 @@ class Domain {
   /// everything pending.  Precondition: no thread holds a guard.
   void drain();
 
+  /// Eagerly unregister the calling thread from this domain (idempotent;
+  /// pending retirements become orphans).  Thread exit does this lazily via
+  /// TLS destructors; CATS_SIM scenarios call it at the end of each worker
+  /// so the bookkeeping happens inside the managed schedule instead of
+  /// during unmanaged thread teardown.
+  void detach_current_thread();
+
   /// Number of retirements not yet freed (approximate; for tests/stats).
   std::size_t pending() const;
 
@@ -133,9 +141,9 @@ class Domain {
 
   struct Slot {
     /// 0 = slot free; otherwise points at the owning ThreadCtx.
-    std::atomic<void*> owner{nullptr};
+    cats::atomic<void*> owner{nullptr};
     /// kIdle when the thread is outside any guard, else the announced epoch.
-    std::atomic<std::uint64_t> announced{kIdle};
+    cats::atomic<std::uint64_t> announced{kIdle};
   };
 
   struct ThreadCtx {
@@ -163,13 +171,13 @@ class Domain {
   /// Frees entries in `list` that are two epochs old; compacts in place.
   void free_eligible(std::vector<Retired>& list, std::uint64_t global);
 
-  alignas(kCacheLine) std::atomic<std::uint64_t> global_epoch_{1};
+  alignas(kCacheLine) cats::atomic<std::uint64_t> global_epoch_{1};
   Padded<Slot> slots_[kMaxThreads];
 
   std::mutex orphan_mutex_;
   std::vector<Retired> orphans_;
   /// Total retirements across all threads not yet freed.
-  std::atomic<std::size_t> pending_{0};
+  cats::atomic<std::size_t> pending_{0};
 
   friend struct DomainTls;
 };

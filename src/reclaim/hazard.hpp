@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "check/check.hpp"
+#include "common/catomic.hpp"
 #include "common/padded.hpp"
 
 #if CATS_CHECKED_ENABLED
@@ -56,7 +57,7 @@ class HazardDomain {
     /// until the publication is stable.  The returned pointer cannot be
     /// freed while this holder protects it.
     template <class T>
-    T* protect(const std::atomic<T*>& source) {
+    T* protect(const cats::atomic<T*>& source) {
       T* ptr = source.load(std::memory_order_acquire);
       while (true) {
         domain_->publish(index_, ptr);
@@ -137,12 +138,12 @@ class HazardDomain {
   ThreadCtx& context();
   void scan(ThreadCtx& ctx);
 
-  Padded<std::atomic<void*>> hazards_[kMaxThreads * kPerThread];
-  Padded<std::atomic<void*>> owners_[kMaxThreads];
+  Padded<cats::atomic<void*>> hazards_[kMaxThreads * kPerThread];
+  Padded<cats::atomic<void*>> owners_[kMaxThreads];
 
   std::mutex orphan_mutex_;
   std::vector<Retired> orphans_;
-  std::atomic<std::size_t> pending_{0};
+  cats::atomic<std::size_t> pending_{0};
 
   friend struct HazardTls;
 };

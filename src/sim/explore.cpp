@@ -1,0 +1,329 @@
+// explore.cpp -- schedule exploration strategies (DFS + sleep sets +
+// preemption bounds, seeded random walk, replay) and the explore() driver.
+
+#include "sim/sim_internal.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace cats::sim {
+
+namespace {
+
+bool contains_tid(const std::vector<EnabledThread>& en, int tid) {
+  for (const auto& e : en)
+    if (e.tid == tid) return true;
+  return false;
+}
+
+const Pending* pending_of(const std::vector<EnabledThread>& en, int tid) {
+  for (const auto& e : en)
+    if (e.tid == tid) return e.announced ? &e.pending : nullptr;
+  return nullptr;
+}
+
+std::uint64_t fnv_step(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x100;
+  return h * 1099511628211ull;
+}
+
+}  // namespace
+
+// --- DfsStrategy ------------------------------------------------------------
+
+DfsStrategy::DfsStrategy(int preemption_bound, bool sleep_sets)
+    : bound_(preemption_bound), sleep_on_(sleep_sets) {}
+
+void DfsStrategy::begin_execution(std::uint64_t) {
+  cur_preempt_ = 0;
+  pruned_ = false;
+}
+
+bool DfsStrategy::feasible(const Node& n, int cand) const {
+  int cost = n.preempt_before;
+  if (n.prev >= 0 && contains_tid(n.en, n.prev) && cand != n.prev) cost += 1;
+  return cost <= bound_;
+}
+
+int DfsStrategy::pick_default(const Node& n, int prev) const {
+  // Stay with the running thread when possible (a switch away from a
+  // still-enabled thread is the preemption the bound counts).
+  if (prev >= 0 && contains_tid(n.en, prev) &&
+      (!sleep_on_ || !n.sleep.count(prev)))
+    return prev;
+  for (const auto& e : n.en)
+    if (!sleep_on_ || !n.sleep.count(e.tid)) return e.tid;
+  // Everyone enabled is asleep: every continuation is redundant with an
+  // already-explored one.  Finish the execution (cheap) and report pruned.
+  return prev >= 0 && contains_tid(n.en, prev) ? prev : n.en.front().tid;
+}
+
+int DfsStrategy::choose(std::uint64_t step, const std::vector<EnabledThread>& en,
+                        int prev) {
+  if (step < prefix_len_) {
+    Node& n = path_[step];
+    // Determinism check: the replayed prefix must see the same enabled set.
+    bool same = n.en.size() == en.size();
+    if (same) {
+      for (std::size_t i = 0; i < en.size(); ++i)
+        if (n.en[i].tid != en[i].tid) same = false;
+    }
+    if (!same || !contains_tid(en, n.chosen)) {
+      if (Runtime* rt = Runtime::get())
+        rt->fail(0,
+                 "nondeterministic scenario: replayed prefix diverged at step " +
+                     std::to_string(step) +
+                     " (enabled set changed between executions)");
+      return en.front().tid;
+    }
+    n.en = en;  // refresh pending-op addresses for this execution
+    n.prev = prev;
+    n.preempt_before = cur_preempt_;
+    if (prev >= 0 && contains_tid(en, prev) && n.chosen != prev)
+      ++cur_preempt_;
+    return n.chosen;
+  }
+
+  Node n;
+  n.en = en;
+  n.prev = prev;
+  n.preempt_before = cur_preempt_;
+  if (sleep_on_ && step > 0 && path_.size() == step) {
+    // Sleep-set inheritance: a thread stays asleep past the parent step iff
+    // its (unchanged) pending op commutes with the op the parent executed.
+    const Node& parent = path_[step - 1];
+    const Pending* parent_op = pending_of(parent.en, parent.chosen);
+    for (int u : parent.sleep) {
+      const Pending* up = pending_of(en, u);
+      if (!up || !parent_op) continue;  // unknown ops: conservatively wake
+      if (ops_independent(*up, *parent_op)) n.sleep.insert(u);
+    }
+  }
+  int c = pick_default(n, prev);
+  if (sleep_on_ && n.sleep.count(c)) pruned_ = true;
+  n.chosen = c;
+  n.done.insert(c);
+  if (prev >= 0 && contains_tid(en, prev) && c != prev) ++cur_preempt_;
+  path_.push_back(std::move(n));
+  return c;
+}
+
+void DfsStrategy::end_execution() {
+  while (!path_.empty()) {
+    Node& n = path_.back();
+    // The subtree under the branch we just finished is fully explored:
+    // its thread goes to sleep at this node.
+    n.sleep.insert(n.chosen);
+    int cand = -1;
+    for (const auto& e : n.en) {
+      if (n.done.count(e.tid)) continue;
+      if (sleep_on_ && n.sleep.count(e.tid)) continue;
+      if (!feasible(n, e.tid)) continue;
+      cand = e.tid;
+      break;
+    }
+    if (cand >= 0) {
+      n.chosen = cand;
+      n.done.insert(cand);
+      prefix_len_ = path_.size();
+      return;
+    }
+    path_.pop_back();
+  }
+  prefix_len_ = 0;
+  done_ = true;
+}
+
+bool DfsStrategy::more() const { return !done_; }
+
+// --- RandomStrategy ---------------------------------------------------------
+
+RandomStrategy::RandomStrategy(std::uint64_t seed, std::uint64_t schedules)
+    : seed_(seed), budget_(schedules) {}
+
+void RandomStrategy::begin_execution(std::uint64_t exec_index) {
+  state_ = mix64(seed_ ^ mix64(exec_index + 0x5DEECE66Dull));
+  if (state_ == 0) state_ = 1;
+  ++run_;
+}
+
+int RandomStrategy::choose(std::uint64_t, const std::vector<EnabledThread>& en,
+                           int) {
+  // xorshift64*
+  state_ ^= state_ >> 12;
+  state_ ^= state_ << 25;
+  state_ ^= state_ >> 27;
+  std::uint64_t r = state_ * 0x2545F4914F6CDD1Dull;
+  return en[static_cast<std::size_t>(r % en.size())].tid;
+}
+
+bool RandomStrategy::more() const { return run_ < budget_; }
+
+// --- ReplayStrategy ---------------------------------------------------------
+
+ReplayStrategy::ReplayStrategy(std::vector<int> choices)
+    : choices_(std::move(choices)) {}
+
+int ReplayStrategy::choose(std::uint64_t step,
+                           const std::vector<EnabledThread>& en, int prev) {
+  if (step < choices_.size()) {
+    int c = choices_[static_cast<std::size_t>(step)];
+    if (contains_tid(en, c)) return c;
+    if (Runtime* rt = Runtime::get())
+      rt->fail(0, "replay divergence at step " + std::to_string(step) +
+                      ": thread " + std::to_string(c) + " not enabled");
+    return en.front().tid;
+  }
+  // Past the recorded schedule: default continuation.
+  if (prev >= 0 && contains_tid(en, prev)) return prev;
+  return en.front().tid;
+}
+
+// --- explore ----------------------------------------------------------------
+
+Result explore(const Options& opts, const std::function<void()>& scenario) {
+  Result res;
+  Runtime rt(opts);
+  std::uint64_t exec = 0;
+  std::uint64_t digest = 1469598103934665603ull;
+
+  // Runs executions under `strat` until it is exhausted.  Returns true when
+  // exploration should stop entirely (failure or cap).
+  auto run_with = [&](Strategy& strat) -> bool {
+    for (;;) {
+      if (res.schedules_explored >= opts.max_schedules) {
+        res.hit_schedule_cap = true;
+        return true;
+      }
+      rt.begin_execution(&strat, exec);
+      try {
+        scenario();
+      } catch (const Abort&) {
+        // Step-budget abort already recorded by the runtime.
+      }
+      rt.finish_execution();
+      digest = fnv_step(digest, exec);
+      for (int c : rt.choices())
+        digest = fnv_step(digest, static_cast<std::uint64_t>(c) + 1);
+      ++res.schedules_explored;
+      ++exec;
+      if (strat.last_execution_pruned()) ++res.schedules_pruned;
+      res.max_steps_seen = std::max(res.max_steps_seen, rt.steps());
+      strat.end_execution();
+      if (rt.failed()) {
+        if (!res.failed) {
+          res.failed = true;
+          res.failing_bound = res.bound_used;
+          res.failure_message = rt.failure_message();
+          res.failure_schedule = rt.choices();
+          res.failure_trace = rt.format_trace();
+        }
+        if (opts.stop_on_failure) return true;
+        rt.clear_failure();
+      }
+      if (!strat.more()) return false;
+    }
+  };
+
+  switch (opts.mode) {
+    case Mode::kDfs: {
+      // CHESS-style iterative bounding: all schedules with 0 preemptions,
+      // then 1, ... so a failure is found at its minimal preemption count.
+      for (int b = 0; b <= opts.preemption_bound; ++b) {
+        res.bound_used = b;
+        DfsStrategy strat(b, opts.sleep_sets);
+        if (run_with(strat)) break;
+      }
+      break;
+    }
+    case Mode::kRandom: {
+      res.bound_used = -1;
+      RandomStrategy strat(opts.seed, opts.random_schedules);
+      run_with(strat);
+      break;
+    }
+    case Mode::kReplay: {
+      res.bound_used = -1;
+      ReplayStrategy strat(opts.replay);
+      run_with(strat);
+      break;
+    }
+  }
+
+  res.schedule_digest = digest;
+  for (const auto& [k, count] : rt.pairs()) {
+    ObservedPair p;
+    p.store_file = k.sf ? k.sf : "";
+    p.store_line = k.sl;
+    p.load_file = k.lf ? k.lf : "";
+    p.load_line = k.ll;
+    p.count = count;
+    res.observed_pairs.push_back(std::move(p));
+  }
+  return res;
+}
+
+// --- trace files ------------------------------------------------------------
+
+std::string Result::summary() const {
+  std::ostringstream os;
+  os << "explored " << schedules_explored << " schedules ("
+     << schedules_pruned << " sleep-pruned, max " << max_steps_seen
+     << " steps";
+  if (bound_used >= 0) os << ", preemption bound " << bound_used;
+  if (hit_schedule_cap) os << ", schedule cap hit";
+  os << ")";
+  if (failed) {
+    os << " FAILED";
+    if (failing_bound >= 0) os << " at bound " << failing_bound;
+    os << ": " << failure_message;
+  }
+  return os.str();
+}
+
+bool write_trace_file(const std::string& path, const Result& r) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << r.failure_trace;
+  if (r.failure_trace.find("schedule:") == std::string::npos) {
+    out << "schedule:";
+    for (int c : r.failure_schedule) out << ' ' << c;
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+std::vector<int> parse_schedule_line(const std::string& text) {
+  std::vector<int> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    // Accept a "schedule: 0 1 ..." line from a trace dump, or — for
+    // hand-authored input — a bare line that is nothing but integers.
+    std::string body;
+    if (line.rfind("schedule:", 0) == 0) {
+      body = line.substr(9);
+    } else {
+      if (line.find_first_not_of("0123456789 \t-") != std::string::npos)
+        continue;
+      body = line;
+    }
+    std::istringstream ls(body);
+    int v;
+    while (ls >> v) out.push_back(v);
+    if (!out.empty()) break;
+  }
+  return out;
+}
+
+bool load_schedule_file(const std::string& path, std::vector<int>& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = parse_schedule_line(buf.str());
+  return !out.empty();
+}
+
+}  // namespace cats::sim

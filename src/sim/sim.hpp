@@ -1,0 +1,144 @@
+// sim.hpp -- public API of the cats deterministic concurrency simulator.
+//
+// A loom/CHESS-style cooperative scheduler: inside sim::explore() exactly one
+// scenario thread runs at a time, and the token is handed over only at
+// *scheduling points* (every cats::atomic operation, guard enter/exit,
+// Domain::retire, thread spawn/join).  Because every visible operation is a
+// scheduling point, a schedule -- the sequence of thread choices -- fully
+// determines an execution, which makes exploration exhaustive (up to the
+// preemption bound) and failures replayable from a dumped trace.
+//
+// Exploration modes:
+//   kDfs    -- stateless depth-first search over schedules.  Sleep-set
+//              partial-order reduction prunes commutative reorderings;
+//              CHESS-style iterative preemption bounding runs bound 0, 1, ...
+//              up to Options::preemption_bound so the simplest failing
+//              schedule is found first.
+//   kRandom -- seeded random walk; schedule i uses mix(seed, i), so any
+//              failure is reproducible from (seed, i) or from the dumped
+//              choice list.
+//   kReplay -- re-execute a recorded choice list (e.g. a failure trace).
+//
+// On top of the scheduler:
+//   * a vector-clock happens-before race detector over instrumented plain
+//     node-field accesses (cats::sim_plain_read/write) and quarantined frees;
+//   * observed release->acquire pairings, exportable for the catslint R5
+//     matrix diff (tools/sim_pairs_diff.py);
+//   * a logical clock (logical_time()) for linearizability histories.
+//
+// Only built when CATS_SIM=ON; see DESIGN.md "Deterministic simulation".
+
+#pragma once
+
+#if !CATS_SIM_ENABLED
+#error "src/sim requires a CATS_SIM=ON build (cmake -DCATS_SIM=ON)"
+#endif
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/catomic.hpp"
+
+namespace cats::sim {
+
+inline constexpr int kMaxSimThreads = 12;
+
+enum class Mode { kDfs, kRandom, kReplay };
+
+struct Options {
+  Mode mode = Mode::kDfs;
+
+  // kDfs: iterative preemption bounding explores bounds 0..preemption_bound.
+  int preemption_bound = 1;
+  // kDfs: sleep-set partial-order reduction (disable to brute-force, e.g. in
+  // the DPOR soundness litmus tests).
+  bool sleep_sets = true;
+
+  // Safety cap across all modes; Result::hit_schedule_cap reports truncation.
+  std::uint64_t max_schedules = 100000;
+
+  // kRandom: number of schedules and base seed (schedule i -> mix(seed, i)).
+  std::uint64_t random_schedules = 1000;
+  std::uint64_t seed = 1;
+
+  // kReplay: recorded thread choices; past the end the scheduler continues
+  // with the default (stay-with-current) policy.
+  std::vector<int> replay;
+
+  // Per-execution step budget (livelock / runaway guard).
+  std::uint64_t max_steps = 200000;
+
+  // Record observed release->acquire site pairs into Result::observed_pairs.
+  bool collect_pairs = false;
+
+  // Stop exploring after the first failing execution (default) or keep
+  // going and report only the first failure.
+  bool stop_on_failure = true;
+};
+
+// One observed release->acquire synchronisation, aggregated by site pair.
+struct ObservedPair {
+  std::string store_file;
+  unsigned store_line = 0;
+  std::string load_file;
+  unsigned load_line = 0;
+  std::uint64_t count = 0;
+};
+
+struct Result {
+  std::uint64_t schedules_explored = 0;
+  std::uint64_t schedules_pruned = 0;  // sleep-set-pruned executions
+  std::uint64_t max_steps_seen = 0;
+  int bound_used = 0;       // preemption bound in effect when explore ended
+  bool hit_schedule_cap = false;
+
+  bool failed = false;
+  int failing_bound = -1;   // preemption bound of the failing schedule (kDfs)
+  std::string failure_message;
+  std::vector<int> failure_schedule;  // thread choice per step, replayable
+  std::string failure_trace;          // annotated human-readable trace
+
+  // FNV over every (execution, step, choice) triple: identical explorations
+  // produce identical digests (scheduler determinism tests).
+  std::uint64_t schedule_digest = 0;
+
+  std::vector<ObservedPair> observed_pairs;
+
+  std::string summary() const;
+};
+
+// Run `scenario` under the simulator.  The calling thread becomes simulated
+// thread 0 and re-executes the scenario once per explored schedule, so the
+// scenario must be restartable: build all shared state inside the callable
+// (fresh tree, fresh reclamation Domain, fresh cats::sim_thread workers).
+Result explore(const Options& opts, const std::function<void()>& scenario);
+
+// --- failure trace dump / replay -------------------------------------------
+
+// Serialise a failing Result to `path` (schedule line + annotated steps).
+bool write_trace_file(const std::string& path, const Result& r);
+
+// Parse the "schedule:" line of a dumped trace back into a choice list.
+bool load_schedule_file(const std::string& path, std::vector<int>& out);
+std::vector<int> parse_schedule_line(const std::string& text);
+
+// --- in-scenario helpers ----------------------------------------------------
+
+// True while the calling thread belongs to an active exploration.
+// (Same predicate the cats::atomic wrapper consults.)
+bool active() noexcept;
+
+// Logical step clock, strictly monotonic within an execution.  Use for
+// linearizability invoke/response timestamps.
+std::uint64_t logical_time() noexcept;
+
+// Record a failure if !ok (execution keeps running to completion so the
+// trace stays replayable; exploration stops afterwards).
+void check(bool ok, const char* msg);
+
+// Unconditional failure record.
+void fail(const std::string& msg);
+
+}  // namespace cats::sim

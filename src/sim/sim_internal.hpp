@@ -1,0 +1,295 @@
+// sim_internal.hpp -- shared internals of the cats simulator (not installed;
+// include only from src/sim/*.cpp and the simulator's own tests).
+
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/sim.hpp"
+
+namespace cats::sim {
+
+// --- vector clocks ---------------------------------------------------------
+
+struct VClock {
+  std::array<std::uint32_t, kMaxSimThreads> c{};
+
+  void join(const VClock& o) {
+    for (int i = 0; i < kMaxSimThreads; ++i)
+      if (o.c[i] > c[i]) c[i] = o.c[i];
+  }
+  // this <= o componentwise (i.e. "this happened before or at o").
+  bool leq(const VClock& o) const {
+    for (int i = 0; i < kMaxSimThreads; ++i)
+      if (c[i] > o.c[i]) return false;
+    return true;
+  }
+};
+
+struct Site {
+  const char* file = nullptr;
+  unsigned line = 0;
+  const char* func = nullptr;
+};
+
+std::string short_site(const Site& s);
+
+// --- pending operations / trace --------------------------------------------
+
+struct Pending {
+  const void* addr = nullptr;
+  OpKind kind = OpKind::kEvent;
+  bool is_write = false;
+  std::memory_order mo = std::memory_order_seq_cst;
+  Site site;
+  const char* tag = nullptr;  // kEvent only
+};
+
+struct TraceStep {
+  int tid = -1;
+  Pending op;
+};
+
+// Two pending ops commute iff they touch different locations or are both
+// reads.  Unannounced threads (addr == nullptr, e.g. freshly spawned) are
+// conservatively dependent on everything.
+bool ops_independent(const Pending& a, const Pending& b);
+
+// --- scheduling strategy ----------------------------------------------------
+
+struct EnabledThread {
+  int tid = -1;
+  bool announced = false;  // pending valid (false for never-scheduled spawns)
+  Pending pending;
+};
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  virtual void begin_execution(std::uint64_t exec_index) = 0;
+  // Pick the thread to run next.  `prev` is the thread that executed the
+  // previous step (-1 at step 0).  `en` is non-empty and sorted by tid.
+  virtual int choose(std::uint64_t step, const std::vector<EnabledThread>& en,
+                     int prev) = 0;
+  virtual void end_execution() = 0;
+  // Another execution to run?
+  virtual bool more() const = 0;
+  virtual bool last_execution_pruned() const { return false; }
+};
+
+// --- race / sync state ------------------------------------------------------
+
+struct AtomicLoc {
+  bool has_release = false;
+  VClock release_vc;    // accumulated over the active release sequence
+  Site release_site;    // head of the release sequence (for pair reporting)
+};
+
+struct PlainLoc {
+  int w_tid = -1;
+  std::uint32_t w_clk = 0;
+  Site w_site;
+  std::array<std::uint32_t, kMaxSimThreads> r_clk{};
+  std::array<Site, kMaxSimThreads> r_site{};
+};
+
+struct FreedRange {
+  std::uintptr_t lo = 0, hi = 0;
+  int tid = -1;
+  VClock vc;
+};
+
+struct QuarantinedBlock {
+  void* p = nullptr;
+  std::size_t size = 0;
+  void (*fr)(void*, std::size_t) = nullptr;
+};
+
+struct PairKey {
+  const char* sf;
+  unsigned sl;
+  const char* lf;
+  unsigned ll;
+  bool operator<(const PairKey& o) const {
+    if (sf != o.sf) return std::string_view(sf) < std::string_view(o.sf);
+    if (sl != o.sl) return sl < o.sl;
+    if (lf != o.lf) return std::string_view(lf) < std::string_view(o.lf);
+    return ll < o.ll;
+  }
+};
+
+// --- per-thread records -----------------------------------------------------
+
+struct ThreadRec {
+  enum class St : std::uint8_t { kUnborn, kReady, kBlockedJoin, kFinished };
+  St st = St::kUnborn;
+  bool announced = false;
+  int wait_child = -1;
+  Pending pending;
+  VClock vc;
+};
+
+// --- the runtime ------------------------------------------------------------
+
+class Runtime {
+ public:
+  explicit Runtime(const Options& opts);
+  ~Runtime();
+
+  static Runtime* get() noexcept;
+
+  // Execution lifecycle (driver thread only).
+  void begin_execution(Strategy* strat, std::uint64_t exec_index);
+  // Returns true if the execution aborted on the step budget.
+  bool finish_execution();
+
+  // Hook entry points (called via cats::sim:: free functions).
+  void announce_and_schedule(int tid, const Pending& p);
+  void commit(int tid, const void* addr, OpKind kind, std::memory_order mo,
+              const Site& site);
+  void plain(int tid, const void* addr, std::size_t size, bool is_write,
+             const Site& site);
+  void on_note_alloc(void* p, std::size_t size);
+  bool on_quarantine_free(int tid, void* p, std::size_t size,
+                          void (*fr)(void*, std::size_t));
+
+  int register_child(int parent);
+  void enter_thread(int self);
+  void exit_thread(int self);
+  void join_wait(int self, int child);
+
+  void fail(int tid, const std::string& msg);
+  void clear_failure();
+  bool failed() const { return failed_.load(std::memory_order_relaxed); }
+  const std::string& failure_message() const { return fail_msg_; }
+
+  std::uint64_t steps() const { return step_; }
+  std::uint64_t exec_index() const { return exec_index_; }
+  const std::vector<int>& choices() const { return choices_; }
+  const std::vector<TraceStep>& trace() const { return trace_; }
+  std::string format_trace() const;
+  bool aborting() const {
+    return aborting_.load(std::memory_order_relaxed);
+  }
+
+  const std::map<PairKey, std::uint64_t>& pairs() const { return pairs_; }
+  const Options& options() const { return opts_; }
+
+ private:
+  // Scheduling core; requires mu_ held.  Picks the next runner, records the
+  // choice, bumps the step counter, wakes the chosen thread.
+  void pick_next(std::unique_lock<std::mutex>& lk, int from,
+                 bool from_enabled);
+  void wait_for_token(std::unique_lock<std::mutex>& lk, int self);
+  void trigger_abort();
+
+  // Happens-before machinery; token-holder only, no lock needed.
+  void sync_acquire(int tid, const void* addr, const Site& site);
+  void check_freed(int tid, std::uintptr_t lo, std::uintptr_t hi,
+                   const Site& site, const char* what);
+
+  Options opts_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int current_ = 0;
+  int last_run_ = -1;
+  int nthreads_ = 1;
+  // +1: dump slot for thread-limit overflow (free-runs, never scheduled).
+  std::array<ThreadRec, kMaxSimThreads + 1> th_;
+  Strategy* strat_ = nullptr;
+  std::uint64_t exec_index_ = 0;
+  std::uint64_t step_ = 0;
+  std::atomic<bool> aborting_{false};
+  bool abort_hit_ = false;
+
+  std::atomic<bool> failed_{false};
+  std::string fail_msg_;
+  std::uint64_t fail_step_ = 0;
+
+  std::vector<int> choices_;
+  std::vector<TraceStep> trace_;
+
+  std::unordered_map<const void*, AtomicLoc> atomics_;
+  std::map<std::uintptr_t, std::pair<std::size_t, PlainLoc>> plain_;
+  std::map<std::uintptr_t, FreedRange> freed_;
+  std::vector<QuarantinedBlock> quarantine_;
+  std::map<PairKey, std::uint64_t> pairs_;
+};
+
+// --- strategies (explore.cpp) ----------------------------------------------
+
+class DfsStrategy final : public Strategy {
+ public:
+  DfsStrategy(int preemption_bound, bool sleep_sets);
+  void begin_execution(std::uint64_t exec_index) override;
+  int choose(std::uint64_t step, const std::vector<EnabledThread>& en,
+             int prev) override;
+  void end_execution() override;
+  bool more() const override;
+  bool last_execution_pruned() const override { return pruned_; }
+
+ private:
+  struct Node {
+    std::vector<EnabledThread> en;
+    int prev = -1;
+    int chosen = -1;
+    int preempt_before = 0;
+    std::set<int> sleep;
+    std::set<int> done;
+  };
+
+  int pick_default(const Node& n, int prev) const;
+  bool feasible(const Node& n, int cand) const;
+
+  int bound_;
+  bool sleep_on_;
+  std::vector<Node> path_;
+  std::size_t prefix_len_ = 0;
+  int cur_preempt_ = 0;
+  bool pruned_ = false;
+  bool done_ = false;
+};
+
+class RandomStrategy final : public Strategy {
+ public:
+  RandomStrategy(std::uint64_t seed, std::uint64_t schedules);
+  void begin_execution(std::uint64_t exec_index) override;
+  int choose(std::uint64_t step, const std::vector<EnabledThread>& en,
+             int prev) override;
+  void end_execution() override {}
+  bool more() const override;
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t budget_;
+  std::uint64_t run_ = 0;
+  std::uint64_t state_ = 0;
+};
+
+class ReplayStrategy final : public Strategy {
+ public:
+  explicit ReplayStrategy(std::vector<int> choices);
+  void begin_execution(std::uint64_t /*exec_index*/) override {}
+  int choose(std::uint64_t step, const std::vector<EnabledThread>& en,
+             int prev) override;
+  void end_execution() override { spent_ = true; }
+  bool more() const override { return !spent_; }
+
+ private:
+  std::vector<int> choices_;
+  bool spent_ = false;
+};
+
+std::uint64_t mix64(std::uint64_t x) noexcept;
+
+}  // namespace cats::sim

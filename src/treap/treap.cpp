@@ -7,14 +7,15 @@
 #include <cstdlib>
 
 #include "alloc/pool.hpp"
+#include "common/catomic.hpp"
 #include "obs/registry.hpp"
 
 namespace cats::treap {
 
 namespace {
 
-std::atomic<std::uint32_t> g_leaf_fill{kLeafCapacity};
-std::atomic<std::size_t> g_live_nodes{0};
+cats::atomic<std::uint32_t> g_leaf_fill{kLeafCapacity};
+cats::atomic<std::size_t> g_live_nodes{0};
 
 }  // namespace
 
@@ -30,7 +31,7 @@ std::uint32_t leaf_fill() { return g_leaf_fill.load(std::memory_order_relaxed); 
 // ---------------------------------------------------------------------------
 
 struct Node {
-  mutable std::atomic<std::uint64_t> rc;
+  mutable cats::atomic<std::uint64_t> rc;
   std::uint64_t size;
   Key min_key;
   Key max_key;
@@ -47,15 +48,19 @@ struct Node {
   /// update, the dominant allocation cost of the whole tree (paper §7's
   /// immutable fat leaves; the JVM amortizes this in the GC nursery).
   static void* operator new(std::size_t size) {
-    return alloc::pool_alloc(size);
+    void* p = alloc::pool_alloc(size);
+    cats::sim_note_alloc(p, size);
+    return p;
   }
 
   /// Poison-on-free under CATS_CHECKED (after the destructor, before the
   /// block re-enters the pool): a stale pointer from a refcount bug reads
   /// 0xEF..EF instead of plausible data — the free-list link clobbers only
-  /// the first word (`rc`), not the canary.
+  /// the first word (`rc`), not the canary.  Under CATS_SIM the release is
+  /// quarantined until the end of the execution.
   static void operator delete(void* p, std::size_t size) {
     CATS_CHECKED_ONLY(check::poison(p, size));
+    if (cats::sim_quarantine_free(p, size, &alloc::pool_free)) return;
     alloc::pool_free(p, size);
   }
 

@@ -402,6 +402,11 @@ TEST(LfcaRangeRetry, NestedQueryHelpsAndOuterSeesResultSet) {
 // Shared staging for the two-thread retry tests: a monotone stage counter
 // advanced under a mutex, with generous timeouts so a sequencing bug fails
 // assertions instead of deadlocking the suite.
+//
+// Each StageGate test pins ONE interleaving of the range-retry protocol.
+// The CATS_SIM=ON build additionally model-checks the same two-query
+// situations across every schedule up to the preemption bound — see the
+// StageGateTwin* scenarios in tests/sim_scenarios_test.cpp.
 struct StageGate {
   std::mutex m;
   std::condition_variable cv;

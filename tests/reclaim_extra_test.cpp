@@ -101,8 +101,8 @@ TEST(EbrExtra, PendingCountTracksRetirements) {
 
 TEST(HazardExtra, MultipleHoldersPerThread) {
   HazardDomain domain;
-  std::atomic<Counted*> p1{new Counted()};
-  std::atomic<Counted*> p2{new Counted()};
+  cats::atomic<Counted*> p1{new Counted()};
+  cats::atomic<Counted*> p2{new Counted()};
   const int before = Counted::live.load() - 2;
   {
     auto h1 = domain.make_holder();
@@ -122,7 +122,7 @@ TEST(HazardExtra, MultipleHoldersPerThread) {
 
 TEST(HazardExtra, ProtectFollowsMovingPointer) {
   HazardDomain domain;
-  std::atomic<Counted*> shared{new Counted()};
+  cats::atomic<Counted*> shared{new Counted()};
   std::atomic<bool> stop{false};
   std::thread swapper([&] {
     Xoshiro256 rng(1);

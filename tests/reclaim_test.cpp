@@ -92,7 +92,7 @@ TEST(Ebr, ManyThreadsNoLeakNoUseAfterFree) {
     constexpr int kOps = 20'000;
     // A shared atomic pointer that threads swap and retire: the canonical
     // EBR usage pattern.
-    std::atomic<Tracked*> shared{new Tracked(0)};
+    cats::atomic<Tracked*> shared{new Tracked(0)};
     SpinBarrier barrier(kThreads);
     std::vector<std::thread> threads;
     for (int t = 0; t < kThreads; ++t) {
@@ -133,7 +133,7 @@ TEST(Ebr, GlobalDomainIsUsable) {
 TEST(Hazard, ProtectPreventsFree) {
   HazardDomain domain;
   const int before = Tracked::live.load();
-  std::atomic<Tracked*> shared{new Tracked(5)};
+  cats::atomic<Tracked*> shared{new Tracked(5)};
 
   Tracked* obj = shared.load();
   {
@@ -157,7 +157,7 @@ TEST(Hazard, TreiberStackStress) {
     StackNode* next;
   };
   struct Stack {
-    std::atomic<StackNode*> head{nullptr};
+    cats::atomic<StackNode*> head{nullptr};
   };
 
   const int before = Tracked::live.load();

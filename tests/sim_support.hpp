@@ -1,0 +1,148 @@
+// Shared helpers for the CATS_SIM=ON test binaries: budget selection,
+// explore-and-report wrappers, failure-trace dumps, observed-pair export
+// (tools/sim_pairs_diff.py) and a lintest history recorder driven by the
+// simulator's logical clock.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "linearizability.hpp"
+#include "sim/sim.hpp"
+
+namespace cats::simtest {
+
+// CATS_SIM_BUDGET=quick (default, CI per-commit) or deep (nightly leg):
+// deep raises the schedule caps roughly 10x.
+inline bool deep_budget() {
+  const char* env = std::getenv("CATS_SIM_BUDGET");
+  return env != nullptr && std::strcmp(env, "deep") == 0;
+}
+
+inline sim::Options dfs_options(std::uint64_t quick_cap = 2000,
+                                int preemption_bound = 1) {
+  sim::Options o;
+  o.mode = sim::Mode::kDfs;
+  o.preemption_bound = preemption_bound;
+  o.max_schedules = deep_budget() ? quick_cap * 10 : quick_cap;
+  return o;
+}
+
+inline sim::Options random_options(std::uint64_t quick_schedules = 200,
+                                   std::uint64_t seed = 1) {
+  sim::Options o;
+  o.mode = sim::Mode::kRandom;
+  o.random_schedules =
+      deep_budget() ? quick_schedules * 10 : quick_schedules;
+  o.max_schedules = o.random_schedules;
+  o.seed = seed;
+  return o;
+}
+
+// Appends a Result's observed pairs to $CATS_SIM_PAIRS_OUT as JSON lines
+// (one synchronizes-with site pair per line; see tools/sim_pairs_diff.py).
+inline void export_pairs(const sim::Result& r) {
+  const char* path = std::getenv("CATS_SIM_PAIRS_OUT");
+  if (path == nullptr || r.observed_pairs.empty()) return;
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) return;
+  for (const auto& p : r.observed_pairs) {
+    std::fprintf(f,
+                 "{\"store_file\": \"%s\", \"store_line\": %u, "
+                 "\"load_file\": \"%s\", \"load_line\": %u, "
+                 "\"count\": %llu}\n",
+                 p.store_file.c_str(), p.store_line, p.load_file.c_str(),
+                 p.load_line,
+                 static_cast<unsigned long long>(p.count));
+  }
+  std::fclose(f);
+}
+
+// Runs a scenario, prints the exploration summary (schedule counts are
+// part of the test output contract), and on failure dumps a replayable
+// trace file next to the test binary.
+inline sim::Result run_reported(const char* name, const sim::Options& opts,
+                                const std::function<void()>& scenario) {
+  sim::Options o = opts;
+  o.collect_pairs =
+      o.collect_pairs || std::getenv("CATS_SIM_PAIRS_OUT") != nullptr;
+  sim::Result r = sim::explore(o, scenario);
+  std::printf("[sim] %-32s %s\n", name, r.summary().c_str());
+  if (r.failed) {
+    std::string path = std::string("sim_trace_") + name + ".txt";
+    if (sim::write_trace_file(path, r)) {
+      std::printf("[sim] %-32s trace dumped to %s\n", name, path.c_str());
+    }
+  }
+  export_pairs(r);
+  return r;
+}
+
+// --- linearizability history recording --------------------------------------
+
+// Collects a lintest history from inside a scenario; invoke/response
+// timestamps come from the simulator's logical step clock, so real-time
+// precedence in the history is exactly scheduler precedence.  Workers
+// record through one shared recorder; the mutex is uncontended under the
+// cooperative scheduler (only the token holder runs).
+class HistoryRecorder {
+ public:
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ops_.clear();
+  }
+
+  // Returns the invoke timestamp to pass to done().
+  std::uint64_t invoke() { return sim::logical_time(); }
+
+  void done(lintest::OpType type, int key, bool returned,
+            std::uint64_t invoke_ts) {
+    lintest::Operation op;
+    op.type = type;
+    op.key = key;
+    op.returned = returned;
+    op.invoke_ns = invoke_ts;
+    op.response_ns = sim::logical_time();
+    push(op);
+  }
+
+  void done_range(int lo, int hi, std::uint16_t mask,
+                  std::uint64_t invoke_ts) {
+    lintest::Operation op;
+    op.type = lintest::OpType::kRange;
+    op.lo = lo;
+    op.hi = hi;
+    op.range_mask = mask;
+    op.invoke_ns = invoke_ts;
+    op.response_ns = sim::logical_time();
+    push(op);
+  }
+
+  // Checks the recorded history against set semantics and reports a sim
+  // failure (replayable schedule) on violation.
+  void verify(std::uint16_t initial_mask) {
+    std::vector<lintest::Operation> history;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      history = ops_;
+    }
+    lintest::Checker checker(std::move(history), initial_mask);
+    sim::check(checker.check() != lintest::Verdict::kViolation,
+               "history is not linearizable");
+  }
+
+ private:
+  void push(const lintest::Operation& op) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ops_.push_back(op);
+  }
+
+  std::mutex mu_;
+  std::vector<lintest::Operation> ops_;
+};
+
+}  // namespace cats::simtest

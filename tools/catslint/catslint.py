@@ -130,6 +130,10 @@ def main(argv=None) -> int:
                     help="rewrite the baseline from current findings")
     ap.add_argument("--json", default="",
                     help="write a JSON report to this path")
+    ap.add_argument("--dump-atomics", default="",
+                    help="write every analyzed atomic op (file, line, op, "
+                         "field, orders) as JSON to this path; input for "
+                         "tools/sim_pairs_diff.py")
     ap.add_argument("--jobs", "-j", type=int, default=1,
                     help="worker processes for the token engine "
                          "(0 = one per CPU; output order is stable)")
@@ -207,6 +211,18 @@ def main(argv=None) -> int:
                 models.append(token_engine.analyze_file(p, rel, cfg))
     else:
         models = build_token_models(wanted, cfg, args.jobs)
+
+    if args.dump_atomics:
+        dump = [{"file": op.file, "line": op.line, "op": op.op,
+                 "field": op.field, "orders": list(op.orders),
+                 "write_order": op.write_order(),
+                 "read_order": op.read_order(),
+                 "stores_pointer": op.stores_pointer,
+                 "receiver_unpublished": op.receiver_unpublished}
+                for m in models for op in m.atomic_ops]
+        with open(args.dump_atomics, "w", encoding="utf-8") as fh:
+            json.dump({"engine": engine, "atomics": dump}, fh, indent=2)
+            fh.write("\n")
 
     findings = rules_mod.run_all(models, cfg, enabled)
 

@@ -252,6 +252,9 @@ class _TuVisitor:
             if callee in ATOMIC_OPS and self._is_atomic_member(cursor):
                 self._record_atomic(model, f, cursor)
                 return
+            if callee in ("sim_plain_write", "sim_plain_read"):
+                self._record_sim_plain(f, callee, cursor, line)
+                return
             if callee:
                 f.calls.append((callee, line))
             if callee in self.blocking_ids:
@@ -364,6 +367,34 @@ class _TuVisitor:
         if kind == CursorKind.CXX_DELETE_EXPR:
             self._record_delete(model, f, cursor, enclosing_class)
 
+    def _record_sim_plain(self, f: FuncInfo, callee: str, cursor,
+                          line: int) -> None:
+        """Lowers `cats::sim_plain_write(x->field, v)` / `sim_plain_read(
+        x->field)` to the events their unwrapped forms would produce, the
+        clang-side mirror of token_engine._record_sim_plain."""
+        st = self._st(f)
+        try:
+            args = list(cursor.get_arguments())
+        except Exception:
+            args = []
+        if not args:
+            return
+        dt = _tok_spellings(args[0])
+        if len(dt) != 3 or not _IDENT_RE.fullmatch(dt[0]) or \
+                dt[1] not in ("->", ".") or not _IDENT_RE.fullmatch(dt[2]):
+            return
+        base, fld = dt[0], dt[2]
+        if callee == "sim_plain_read":
+            return  # deref events come from the MEMBER_REF_EXPR visit
+        f.events.append(FlowEvent("field_write", base, fld, line))
+        if st is not None and len(args) >= 2:
+            vt = _tok_spellings(args[1])
+            # Same private-graph exception as a lexical `lb->parent = r`:
+            # storing a fresh node into another still-private node keeps
+            # the object graph private; anything else escapes the value.
+            if len(vt) == 1 and vt[0] in st.newed and base not in st.newed:
+                st.escaped.add(vt[0])
+
     def _is_atomic_member(self, cursor) -> bool:
         from clang.cindex import CursorKind
         for child in cursor.get_children():
@@ -395,6 +426,15 @@ class _TuVisitor:
             return bool(at) and len(at) <= 5 and \
                 _ORDER_RE.search(" ".join(at)) is not None
 
+        def is_order_typed(a):
+            # A memory_order-typed expression with no literal order name:
+            # a forwarding parameter (cats::atomic passes its caller's
+            # order through).  Counts as explicit, order "forwarded".
+            try:
+                return "memory_order" in a.type.spelling
+            except Exception:
+                return False
+
         try:
             args = list(cursor.get_arguments())
         except Exception:
@@ -407,6 +447,9 @@ class _TuVisitor:
                 m = _ORDER_RE.search(" ".join(at))
                 if m:
                     orders.append(m.group(1))
+            elif is_order_typed(a):
+                orders.append("forwarded")
+                has_order = True
             else:
                 value_args.append(a)
 

@@ -1,0 +1,25 @@
+// R1/R5 fixture: must be clean — a wrapper that forwards its caller's
+// memory_order through a parameter (the cats::atomic pattern in
+// src/common/catomic.hpp) has an explicit order at every op, not a
+// defaulted seq_cst; the forwarded order is neutral in the R5 matrix.
+#include <atomic>
+
+template <class T>
+class forwarding_box {
+ public:
+  T load(std::memory_order mo) const { return v_.load(mo); }
+  void store(T v, std::memory_order mo) { v_.store(v, mo); }
+  T exchange(T v, std::memory_order mo) { return v_.exchange(v, mo); }
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order mo) {
+    return v_.compare_exchange_strong(expected, desired, mo,
+                                      std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<T> v_;
+};
+
+forwarding_box<int> g_box;
+
+int read_it() { return g_box.load(std::memory_order_acquire); }

@@ -1,0 +1,32 @@
+// R6 fixture: must fire — a write through the simulator's plain-access
+// shim (cats::sim_plain_write, src/common/catomic.hpp) after the node
+// escaped is still a post-publication mutation; the shim must not
+// launder it.
+#include <atomic>
+
+namespace cats {
+template <class T, class U>
+void sim_plain_write(T& dst, U v) { dst = v; }
+}  // namespace cats
+
+struct Node {
+  int key{0};
+  std::atomic<int> stat{0};
+};
+
+struct Tree {
+  std::atomic<Node*> head{nullptr};
+};
+
+Tree t;
+
+Node* peek() {
+  return t.head.load(std::memory_order_acquire);
+}
+
+void publish_then_sim_mutate() {
+  auto* n = new Node();
+  cats::sim_plain_write(n->key, 1);  // fine: still private
+  t.head.store(n, std::memory_order_release);
+  cats::sim_plain_write(n->key, 2);  // write after publication
+}

@@ -1,0 +1,55 @@
+// R5/R6/R0 fixture: must be clean — the simulator's plain-access shims
+// (cats::sim_plain_write/read, src/common/catomic.hpp) are transparent
+// to the dataflow rules: pre-publication initialization through them
+// does not escape the still-private receiver (so a later relaxed store
+// into the private graph stays exempt from R5), and a justified
+// post-publication write consumes its pre-publish annotation (R0).
+#include <atomic>
+
+namespace cats {
+template <class T, class U>
+void sim_plain_write(T& dst, U v) { dst = v; }
+template <class T>
+T sim_plain_read(const T& src) { return src; }
+}  // namespace cats
+
+struct Node {
+  int key{0};
+  Node* parent{nullptr};
+  std::atomic<Node*> left{nullptr};
+  std::atomic<Node*> right{nullptr};
+};
+
+struct Tree {
+  std::atomic<Node*> head{nullptr};
+};
+
+Tree t;
+
+Node* peek() {
+  return t.head.load(std::memory_order_acquire);
+}
+
+void build_subtree_and_publish() {
+  auto* r = new Node();
+  auto* lb = new Node();
+  auto* rb = new Node();
+  cats::sim_plain_write(r->key, 7);
+  cats::sim_plain_write(lb->parent, r);  // private graph: r must not escape
+  cats::sim_plain_write(rb->parent, r);
+  r->left.store(lb, std::memory_order_relaxed);   // pre-publication: ok
+  r->right.store(rb, std::memory_order_relaxed);
+  t.head.store(r, std::memory_order_release);
+}
+
+int read_key() {
+  Node* n = t.head.load(std::memory_order_acquire);
+  return cats::sim_plain_read(n->key);
+}
+
+void deferred_init() {
+  auto* n = new Node();
+  t.head.store(n, std::memory_order_release);
+  // catslint: pre-publish(readers wait on left before reading key; the release edge is the left store)
+  cats::sim_plain_write(n->key, 2);
+}

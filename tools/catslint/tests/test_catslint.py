@@ -75,6 +75,11 @@ class RuleLiveness(unittest.TestCase):
     def test_r1_passes_explicit_and_justified(self):
         self.assert_clean("r1_pass.cpp")
 
+    def test_r1_passes_forwarded_order_params(self):
+        """cats::atomic-style wrappers forward their caller's order
+        through a std::memory_order parameter; that is explicit."""
+        self.assert_clean("r1_forward_pass.cpp")
+
     def test_r2_fires_on_unguarded_shared_load(self):
         self.assert_fires("r2_fire.cpp", "R2",
                           must_mention=("unguarded_read",))
@@ -117,6 +122,18 @@ class RuleLiveness(unittest.TestCase):
 
     def test_r6_passes_prepublish_builders(self):
         self.assert_clean("r6_pass.cpp")
+
+    def test_r6_fires_through_sim_plain_write(self):
+        """The simulator's plain-access shim must not launder a
+        post-publication mutation."""
+        self.assert_fires("r6_sim_fire.cpp", "R6",
+                          must_mention=("published",))
+
+    def test_r6_passes_sim_instrumented_builders(self):
+        """sim_plain_write/read are transparent: private-graph escapes,
+        R5 receiver tracking and annotation consumption all see through
+        them (the instrumented lfca tree relies on this)."""
+        self.assert_clean("r6_sim_pass.cpp")
 
     def test_r7_fires_on_guard_escape_and_cross_generation_cas(self):
         self.assert_fires("r7_fire.cpp", "R7", min_count=2,

@@ -42,8 +42,10 @@ _TYPE_KEYWORDS = {
 class _FnCtx:
     """Transient per-function dataflow state for the body scan."""
 
-    def __init__(self, symbols: Dict[str, str]):
+    def __init__(self, symbols: Dict[str, str],
+                 order_params: Optional[Set[str]] = None):
         self.symbols = symbols  # var -> pointee type (params + locals)
+        self.order_params = order_params or set()  # memory_order params
         self.newed: Set[str] = set()  # vars allocated with `new` here
         self.escaped: Set[str] = set()  # passed to a call / stored away
         self.published: Set[str] = set()  # value argument of an atomic write
@@ -331,10 +333,12 @@ class _Scanner:
                      end_line=self.toks[end_idx][2])
         symbols = self._param_types(open_idx, k)
         f.ptr_params = dict(symbols)
+        order_params = self._order_params(open_idx, k)
         # Constructor initializer lists run code too (atomic ops, calls):
         # start the scan at the signature's ')' when one is present.
         start = k if anchor is not None else brace_idx
-        self._scan_body(f, start, end_idx, symbols, class_stack)
+        self._scan_body(f, start, end_idx, symbols, class_stack,
+                        order_params)
         f.node_vars = sorted(v for v, t in symbols.items()
                              if t in self.node_types)
         self.model.funcs.append(f)
@@ -361,10 +365,25 @@ class _Scanner:
             i += 1
         return out
 
+    def _order_params(self, open_idx: int, close_idx: int) -> Set[str]:
+        """Names of `std::memory_order name` parameters.  Wrapper layers
+        (cats::atomic in src/common/catomic.hpp) forward their caller's
+        order through such a parameter; an op passing one has an explicit
+        — forwarded — order, not a defaulted seq_cst."""
+        out: Set[str] = set()
+        i = open_idx + 1
+        while i < close_idx:
+            if self.toks[i][1] == "memory_order" and \
+                    self.toks[i + 1][0] == "id":
+                out.add(self.toks[i + 1][1])
+            i += 1
+        return out
+
     def _scan_body(self, f: FuncInfo, start: int, end: int,
                    symbols: Dict[str, str],
-                   class_stack: List[str]) -> None:
-        ctx = _FnCtx(symbols)
+                   class_stack: List[str],
+                   order_params: Optional[Set[str]] = None) -> None:
+        ctx = _FnCtx(symbols, order_params)
         i = start
         while i < end:
             kind, text, line = self.toks[i]
@@ -514,6 +533,14 @@ class _Scanner:
                 if prev in {".", "->"} and text in ATOMIC_OPS:
                     i = self._record_atomic(f, i, end, ctx)
                     continue
+                if text in {"sim_plain_write", "sim_plain_read"}:
+                    self._record_sim_plain(f, text, call_paren, ctx, line)
+                    # Scan inside the argument list (deref events, nested
+                    # calls) but skip the generic call_arg handling: these
+                    # are the simulator's transparent plain-access shims
+                    # (src/common/catomic.hpp), not escapes.
+                    i = call_paren + 1
+                    continue
                 if prev not in {"new", "class", "struct", "enum"}:
                     f.calls.append((text, line))
                     for arg in self._direct_args(call_paren):
@@ -531,6 +558,33 @@ class _Scanner:
         while ctx.guards:
             gen, _ = ctx.guards.pop()
             f.events.append(FlowEvent("guard_close", "", str(gen), end_line))
+
+    def _record_sim_plain(self, f: FuncInfo, callee: str, open_idx: int,
+                          ctx: _FnCtx, line: int) -> None:
+        """Lowers `cats::sim_plain_write(x->field, v)` / `sim_plain_read(
+        x->field)` to the events their unwrapped forms (`x->field = v`,
+        `x->field`) would produce, so the dataflow rules (R5 receiver
+        tracking, R6 immutability, R0 annotation consumption) see through
+        the simulator's instrumentation layer."""
+        args = self._direct_args(open_idx)
+        if not args:
+            return
+        dst = args[0]
+        if len(dst) != 3 or dst[0][0] != "id" or \
+                dst[1][1] not in {"->", "."} or dst[2][0] != "id":
+            return
+        base, fld = dst[0][1], dst[2][1]
+        if callee == "sim_plain_read" or base not in ctx.symbols:
+            return  # deref events come from the in-args scan
+        f.events.append(FlowEvent("field_write", base, fld, line))
+        if len(args) >= 2:
+            vid = self._arg_single_id(args[1])
+            # Same private-graph exception as a lexical `lb->parent = r`:
+            # storing a fresh node into another still-private node keeps
+            # the object graph private; anything else escapes the value.
+            if vid is not None and vid in ctx.newed and \
+                    base not in ctx.newed:
+                ctx.escaped.add(vid)
 
     def _new_or_cast_type(self, i: int, end: int) -> Optional[str]:
         if i < end and self.toks[i][1] == "new":
@@ -666,6 +720,10 @@ class _Scanner:
         value_args: List[List[Tuple[str, str, int]]] = []
         for arg in args:
             name = self._order_name(arg)
+            if name is None:
+                vid = self._arg_single_id(arg)
+                if vid is not None and vid in ctx.order_params:
+                    name = "forwarded"
             if name is not None:
                 orders.append(name)
             else:
