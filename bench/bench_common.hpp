@@ -32,7 +32,24 @@ struct Tag {
   const char* name;
 };
 
-/// Invokes `f` with a Tag for every structure passing the --only filter.
+/// Key codec driving a structure (see harness/workload.hpp): the identity
+/// codec for the integer-keyed roster, the decimal StrKey codec for the
+/// string-keyed LFCA instantiations.
+template <class S>
+struct KeyCodecOf {
+  using type = harness::IntKeyCodec;
+};
+template <>
+struct KeyCodecOf<lfca::LfcaStrTree> {
+  using type = harness::StrKeyCodec;
+};
+template <>
+struct KeyCodecOf<lfca::LfcaStrTreeChunk> {
+  using type = harness::StrKeyCodec;
+};
+
+/// Invokes `f` with a Tag for every structure passing the --only filter
+/// (the paper's six integer-keyed structures).
 template <class F>
 void for_each_structure(const std::string& only, F&& f) {
   auto want = [&](const char* name) { return only.empty() || only == name; };
@@ -44,16 +61,34 @@ void for_each_structure(const std::string& only, F&& f) {
   if (want("vskip")) f(Tag<vskip::VersionedSkipList>{"vskip"});
 }
 
+/// Roster selection by --key-type: "int" is the paper's six structures,
+/// "str" the StrKey LFCA instantiations (treap and chunk leaves).  `f` is
+/// instantiated for both rosters, so its body must be key-type generic
+/// (drive the structure through measure()/run_thread_sweep(), which pick
+/// the codec via KeyCodecOf).
+template <class F>
+void for_each_structure(const std::string& only, const std::string& key_type,
+                        F&& f) {
+  if (key_type == "str") {
+    auto want = [&](const char* name) { return only.empty() || only == name; };
+    if (want("lfca")) f(Tag<lfca::LfcaStrTree>{"lfca"});
+    if (want("lfca-chunk")) f(Tag<lfca::LfcaStrTreeChunk>{"lfca-chunk"});
+    return;
+  }
+  for_each_structure(only, static_cast<F&&>(f));
+}
+
 /// Builds a fresh pre-filled instance, runs the groups `opt.runs` times and
 /// returns the averaged result.
 template <class S>
 harness::RunResult measure(const harness::Options& opt,
                            const std::vector<harness::ThreadGroup>& groups) {
+  using Codec = typename KeyCodecOf<S>::type;
   harness::RunResult avg;
   for (int run = 0; run < opt.runs; ++run) {
     S structure;
-    harness::prefill(structure, opt.size);
-    const harness::RunResult r = harness::run_mix(
+    harness::prefill<S, Codec>(structure, opt.size);
+    const harness::RunResult r = harness::run_mix<S, Codec>(
         structure, groups, opt.size, opt.duration, 1000 + run);
     avg.seconds += r.seconds / opt.runs;
     avg.total_ops += r.total_ops / opt.runs;

@@ -4,7 +4,9 @@
 //   (a) w:50% r:50%     — update heavy
 //   (b) w:20% r:80%     — read mostly
 //   (c) w:1%  r:99%     — read dominated (wait-free lookups shine)
-// All six structures, throughput vs. thread count.
+// All six structures, throughput vs. thread count.  --key-type=str swaps
+// the roster for the StrKey LFCA instantiations (same scenarios, string
+// keys through harness::StrKeyCodec).
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
@@ -27,7 +29,7 @@ int main(int argc, char** argv) {
   for (const Panel& panel : panels) {
     const harness::Mix mix = harness::Mix::of_percent(panel.w, panel.r, 0);
     print_sweep_header(panel.title, opt);
-    for_each_structure(opt.only, [&](auto tag) {
+    for_each_structure(opt.only, opt.key_type, [&](auto tag) {
       using S = typename decltype(tag)::type;
       run_thread_sweep<S>(panel.figure, tag.name, opt, mix);
     });

@@ -84,18 +84,22 @@ CaTree::Node* CaTree::find_base(Key key) const {
   return n;
 }
 
-CaTree::Node* CaTree::find_base_with_bound(Key key, Key* upper_bound) const {
-  Key bound = kKeyMax;
+CaTree::Node* CaTree::find_base_with_bound(Key key, Key* upper_bound,
+                                           bool* bounded) const {
+  Key bound{};
+  bool has_bound = false;
   Node* n = root_.load(std::memory_order_acquire);
   while (n->is_route) {
     if (key < n->key) {
       bound = n->key;
+      has_bound = true;
       n = n->left.load(std::memory_order_acquire);
     } else {
       n = n->right.load(std::memory_order_acquire);
     }
   }
   *upper_bound = bound;
+  *bounded = has_bound;
   return n;
 }
 
@@ -182,8 +186,9 @@ void CaTree::range_query(Key lo, Key hi, ItemVisitor visit) const {
     Key cursor = lo;
     bool restart = false;
     while (true) {
-      Key bound = kKeyMax;
-      Node* base = find_base_with_bound(cursor, &bound);
+      Key bound{};
+      bool bounded = false;
+      Node* base = find_base_with_bound(cursor, &bound, &bounded);
       base->lock.lock();  // ascending key order: deadlock-free vs. ranges
       if (!base->valid.load(std::memory_order_relaxed)) {
         base->lock.unlock();
@@ -196,7 +201,7 @@ void CaTree::range_query(Key lo, Key hi, ItemVisitor visit) const {
       }
       locked.push_back(base);
       cursors.push_back(cursor);
-      if (bound > hi || bound == kKeyMax) break;
+      if (!bounded || bound > hi) break;
       cursor = bound;
     }
     if (!restart) break;
@@ -244,8 +249,9 @@ std::size_t CaTree::range_update(Key lo, Key hi,
     Key cursor = lo;
     bool restart = false;
     while (true) {
-      Key bound = kKeyMax;
-      Node* base = find_base_with_bound(cursor, &bound);
+      Key bound{};
+      bool bounded = false;
+      Node* base = find_base_with_bound(cursor, &bound, &bounded);
       base->lock.lock();
       if (!base->valid.load(std::memory_order_relaxed)) {
         base->lock.unlock();
@@ -253,7 +259,7 @@ std::size_t CaTree::range_update(Key lo, Key hi,
         break;
       }
       locked.push_back(base);
-      if (bound > hi || bound == kKeyMax) break;
+      if (!bounded || bound > hi) break;
       cursor = bound;
     }
     if (!restart) break;

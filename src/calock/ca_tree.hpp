@@ -91,8 +91,11 @@ class CaTree {
   bool do_update(UpdateKind kind, Key key, Value value);
   Node* find_base(Key key) const;
   /// Finds the base covering `key` and the smallest route key bounding its
-  /// span from above (kKeyMax when unbounded).
-  Node* find_base_with_bound(Key key, Key* upper_bound) const;
+  /// span from above.  `*bounded` is false when the base's span is
+  /// unbounded above (rightmost path) — an explicit flag, because every key
+  /// value including kKeyMax is a legitimate route pivot and cannot double
+  /// as an "unbounded" marker.
+  Node* find_base_with_bound(Key key, Key* upper_bound, bool* bounded) const;
   // `hint` is any key routed to `base` by the route nodes (callers know one
   // from their own traversal); it locates the base's parent without a
   // parent pointer.  Caller holds base->lock for all three.

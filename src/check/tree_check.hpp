@@ -33,6 +33,8 @@
 // beyond the caller's guard.
 #pragma once
 
+#include <string>
+
 #include "check/check.hpp"
 #include "common/types.hpp"
 #include "lfca/node.hpp"
@@ -50,12 +52,27 @@ enum class TreeValidateMode {
 
 namespace detail {
 
+/// Formats a bound pointer for diagnostics ("-unbounded-" when nullptr).
+template <class K>
+std::string format_bound(const K* bound) {
+  return bound == nullptr ? std::string("-unbounded-")
+                          : cats::KeyTraits<K>::format(*bound);
+}
+
+// Path bounds are pointers into route keys — `lo` inclusive, `hi`
+// exclusive, nullptr = unbounded — so any key type works, including its
+// KeyTraits extremes (the former __int128 widening was integer-only).
 template <class C>
 void validate_tree_rec(lfca::detail::Node<C>* n,
-                       lfca::detail::Node<C>* parent_route, __int128 lo,
-                       __int128 hi, TreeValidateMode mode, Report& report) {
+                       lfca::detail::Node<C>* parent_route,
+                       const typename C::Key* lo, const typename C::Key* hi,
+                       TreeValidateMode mode, Report& report) {
   using lfca::detail::NodeType;
   using Node = lfca::detail::Node<C>;
+  using K = typename C::Key;
+  const auto lt = [](const K& a, const K& b) {
+    return typename C::Compare{}(a, b);
+  };
 
   if (!lfca::detail::is_real<C>(n)) {
     report.add("node %p: sentinel or null pointer reachable from the tree",
@@ -85,12 +102,12 @@ void validate_tree_rec(lfca::detail::Node<C>* n,
   }
 
   if (n->type == NodeType::kRoute) {
-    const __int128 key = n->key;
-    if (key < lo || key > hi) {
-      report.add("route %p: key %lld outside its path interval "
-                 "[%lld, %lld]",
-                 static_cast<void*>(n), static_cast<long long>(n->key),
-                 static_cast<long long>(lo), static_cast<long long>(hi));
+    if ((lo != nullptr && lt(n->key, *lo)) ||
+        (hi != nullptr && !lt(n->key, *hi))) {
+      report.add("route %p: key %s outside its path interval [%s, %s)",
+                 static_cast<void*>(n),
+                 cats::KeyTraits<K>::format(n->key).c_str(),
+                 format_bound(lo).c_str(), format_bound(hi).c_str());
     }
     if (mode == TreeValidateMode::kQuiescent) {
       if (!n->valid.load(std::memory_order_acquire)) {
@@ -105,9 +122,9 @@ void validate_tree_rec(lfca::detail::Node<C>* n,
       }
     }
     validate_tree_rec<C>(n->left.load(std::memory_order_acquire), n, lo,
-                         key - 1, mode, report);
-    validate_tree_rec<C>(n->right.load(std::memory_order_acquire), n, key,
-                         hi, mode, report);
+                         &n->key, mode, report);
+    validate_tree_rec<C>(n->right.load(std::memory_order_acquire), n,
+                         &n->key, hi, mode, report);
     return;
   }
 
@@ -202,14 +219,16 @@ void validate_tree_rec(lfca::detail::Node<C>* n,
                static_cast<void*>(n));
   } else if (!C::empty(n->data)) {
     if (mode == TreeValidateMode::kQuiescent) {
-      const __int128 first = C::min_key(n->data);
-      const __int128 last = C::max_key(n->data);
-      if (first < lo || last > hi) {
-        report.add("base %p: container keys [%lld, %lld] escape the path "
-                   "interval [%lld, %lld]",
-                   static_cast<void*>(n), static_cast<long long>(first),
-                   static_cast<long long>(last), static_cast<long long>(lo),
-                   static_cast<long long>(hi));
+      const K first = C::min_key(n->data);
+      const K last = C::max_key(n->data);
+      if ((lo != nullptr && lt(first, *lo)) ||
+          (hi != nullptr && !lt(last, *hi))) {
+        report.add("base %p: container keys [%s, %s] escape the path "
+                   "interval [%s, %s)",
+                   static_cast<void*>(n),
+                   cats::KeyTraits<K>::format(first).c_str(),
+                   cats::KeyTraits<K>::format(last).c_str(),
+                   format_bound(lo).c_str(), format_bound(hi).c_str());
       }
     }
   }
@@ -229,9 +248,7 @@ bool validate_tree(lfca::detail::Node<C>* root, TreeValidateMode mode,
   if (root == nullptr) {
     out.add("tree root is null");
   } else {
-    constexpr __int128 lo = static_cast<__int128>(kKeyMin) - 1;
-    constexpr __int128 hi = static_cast<__int128>(kKeyMax) + 1;
-    detail::validate_tree_rec<C>(root, nullptr, lo, hi, mode, out);
+    detail::validate_tree_rec<C>(root, nullptr, nullptr, nullptr, mode, out);
   }
   return out.failure_count() == before;
 }

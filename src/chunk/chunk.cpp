@@ -1,240 +1,25 @@
 #include "chunk/chunk.hpp"
 
-#include <algorithm>
 #include <atomic>
-#include <cassert>
-#include <new>
 
-#include "alloc/pool.hpp"
 #include "common/catomic.hpp"
+#include "common/strkey.hpp"
 
 namespace cats::chunk {
 
-namespace {
-cats::atomic<std::size_t> g_live_nodes{0};
-}  // namespace
-
-/// One immutable, exactly-sized sorted array of items.
-struct Node {
-  mutable cats::atomic<std::uint64_t> rc;
-  std::uint32_t count;
-#if CATS_CHECKED_ENABLED
-  /// Canary header; see check/check.hpp.  Like `rc`, initialized by a plain
-  /// store in allocate() — the node is raw storage, never constructed.
-  check::Canary check_canary;
-#endif
-  Item items[];  // flexible array member (GNU extension, exact allocation)
-};
-
-namespace {
-
-std::size_t allocation_bytes(std::uint32_t count) {
-  return sizeof(Node) + count * sizeof(Item);
-}
-
-Node* allocate(std::uint32_t count) {
-  // Chunk nodes are rebuilt wholesale on every update; route the common
-  // sizes through the slab pool (oversize chunks fall through to the heap
-  // inside pool_alloc).
-  void* memory = alloc::pool_alloc(allocation_bytes(count));
-  cats::sim_note_alloc(memory, allocation_bytes(count));
-  Node* node = static_cast<Node*>(memory);
-  node->rc.store(1, std::memory_order_relaxed);
-  node->count = count;
-  CATS_CHECKED_ONLY(
-      node->check_canary.store(check::kCanaryAlive, std::memory_order_relaxed));
-  g_live_nodes.fetch_add(1, std::memory_order_relaxed);
-  return node;
-}
-
-const Item* lower_bound(const Node* node, Key key) {
-  return std::lower_bound(
-      node->items, node->items + node->count, key,
-      [](const Item& item, Key k) { return item.key < k; });
-}
-
-}  // namespace
-
 namespace detail {
 
-void incref(const Node* node) noexcept {
-  CATS_CHECKED_ONLY(
-      check::canary_expect_alive(node->check_canary, "chunk node (incref)"));
-  node->rc.fetch_add(1, std::memory_order_relaxed);
-}
-
-void decref(const Node* node) noexcept {
-  CATS_CHECKED_ONLY(
-      check::canary_expect_alive(node->check_canary, "chunk node (decref)"));
-  const std::uint64_t prev = node->rc.fetch_sub(1, std::memory_order_acq_rel);
-  CATS_CHECK(prev != 0, "chunk node %p: refcount underflow",
-             static_cast<const void*>(node));
-  if (prev == 1) {
-    g_live_nodes.fetch_sub(1, std::memory_order_relaxed);
-    // Compute the size before the poison overwrites `count`; pool_free
-    // needs it too (the pool's size classes are keyed on it).
-    const std::size_t bytes = allocation_bytes(node->count);
-    CATS_CHECKED_ONLY(check::poison(const_cast<Node*>(node), bytes));
-    if (!cats::sim_quarantine_free(const_cast<Node*>(node), bytes,
-                                   &alloc::pool_free))
-      alloc::pool_free(const_cast<Node*>(node), bytes);
-  }
-}
+// Shared by every BasicChunk instantiation (see chunk_impl.hpp).
+cats::atomic<std::size_t> g_live_nodes{0};
 
 }  // namespace detail
 
-bool lookup(const Node* chunk, Key key, Value* value_out) {
-  if (chunk == nullptr) return false;
-  const Item* pos = lower_bound(chunk, key);
-  if (pos == chunk->items + chunk->count || pos->key != key) return false;
-  if (value_out != nullptr) *value_out = pos->value;
-  return true;
-}
-
-std::size_t size(const Node* chunk) {
-  return chunk == nullptr ? 0 : chunk->count;
-}
-
-bool empty(const Node* chunk) { return chunk == nullptr; }
-
-bool less_than_two_items(const Node* chunk) { return size(chunk) < 2; }
-
-Key min_key(const Node* chunk) {
-  assert(chunk != nullptr);
-  return chunk->items[0].key;
-}
-
-Key max_key(const Node* chunk) {
-  assert(chunk != nullptr);
-  return chunk->items[chunk->count - 1].key;
-}
-
-void for_range(const Node* chunk, Key lo, Key hi, ItemVisitor visit) {
-  if (chunk == nullptr) return;
-  const Item* end = chunk->items + chunk->count;
-  for (const Item* pos = lower_bound(chunk, lo); pos != end && pos->key <= hi;
-       ++pos) {
-    visit(pos->key, pos->value);
-  }
-}
-
-void for_all(const Node* chunk, ItemVisitor visit) {
-  for_range(chunk, kKeyMin, kKeyMax, visit);
-}
-
-Ref insert(const Node* chunk, Key key, Value value, bool* replaced_out) {
-  if (chunk == nullptr) {
-    Node* fresh = allocate(1);
-    fresh->items[0] = Item{key, value};
-    if (replaced_out != nullptr) *replaced_out = false;
-    return Ref::adopt(fresh);
-  }
-  const Item* pos = lower_bound(chunk, key);
-  const auto prefix = static_cast<std::uint32_t>(pos - chunk->items);
-  const bool replaces =
-      pos != chunk->items + chunk->count && pos->key == key;
-  if (replaced_out != nullptr) *replaced_out = replaces;
-  Node* fresh = allocate(chunk->count + (replaces ? 0 : 1));
-  std::copy_n(chunk->items, prefix, fresh->items);
-  fresh->items[prefix] = Item{key, value};
-  std::copy(chunk->items + prefix + (replaces ? 1 : 0),
-            chunk->items + chunk->count, fresh->items + prefix + 1);
-  return Ref::adopt(fresh);
-}
-
-Ref remove(const Node* chunk, Key key, bool* removed_out) {
-  if (removed_out != nullptr) *removed_out = false;
-  if (chunk == nullptr) return Ref();
-  const Item* pos = lower_bound(chunk, key);
-  if (pos == chunk->items + chunk->count || pos->key != key) {
-    detail::incref(chunk);
-    return Ref::adopt(chunk);  // unchanged version
-  }
-  if (removed_out != nullptr) *removed_out = true;
-  if (chunk->count == 1) return Ref();
-  const auto prefix = static_cast<std::uint32_t>(pos - chunk->items);
-  Node* fresh = allocate(chunk->count - 1);
-  std::copy_n(chunk->items, prefix, fresh->items);
-  std::copy(pos + 1, chunk->items + chunk->count, fresh->items + prefix);
-  return Ref::adopt(fresh);
-}
-
-Ref join(const Node* left, const Node* right) {
-  if (left == nullptr) {
-    if (right != nullptr) detail::incref(right);
-    return Ref::adopt(right);
-  }
-  if (right == nullptr) {
-    detail::incref(left);
-    return Ref::adopt(left);
-  }
-  assert(max_key(left) < min_key(right));
-  Node* fresh = allocate(left->count + right->count);
-  std::copy_n(left->items, left->count, fresh->items);
-  std::copy_n(right->items, right->count, fresh->items + left->count);
-  return Ref::adopt(fresh);
-}
-
-void split_evenly(const Node* chunk, Ref* left_out, Ref* right_out,
-                  Key* split_key_out) {
-  assert(size(chunk) >= 2);
-  const std::uint32_t half = chunk->count / 2;
-  Node* left = allocate(half);
-  Node* right = allocate(chunk->count - half);
-  std::copy_n(chunk->items, half, left->items);
-  std::copy(chunk->items + half, chunk->items + chunk->count, right->items);
-  *left_out = Ref::adopt(left);
-  *right_out = Ref::adopt(right);
-  *split_key_out = right->items[0].key;
-}
-
-bool validate(const Node* chunk, check::Report* report) {
-  if (chunk == nullptr) return true;
-  const void* p = chunk;
-#if CATS_CHECKED_ENABLED
-  const std::uint64_t canary =
-      chunk->check_canary.load(std::memory_order_relaxed);
-  if (check::canary_state(canary) != check::CanaryState::kAlive) {
-    if (report != nullptr) {
-      report->add("chunk node %p: canary is %s (0x%016llx), not alive", p,
-                  check::canary_name(canary),
-                  static_cast<unsigned long long>(canary));
-    }
-    return false;  // remaining fields are as untrustworthy as the canary
-  }
-#endif
-  bool ok = true;
-  if (chunk->count == 0) {  // empty is represented as null
-    if (report != nullptr) {
-      report->add("chunk node %p: count is 0 (empty must be null)", p);
-    }
-    ok = false;
-  }
-  if (chunk->rc.load(std::memory_order_relaxed) == 0) {
-    if (report != nullptr) {
-      report->add("chunk node %p: refcount is 0 but node is reachable", p);
-    }
-    ok = false;
-  }
-  for (std::uint32_t i = 1; i < chunk->count; ++i) {
-    if (chunk->items[i - 1].key >= chunk->items[i].key) {
-      if (report != nullptr) {
-        report->add(
-            "chunk node %p: items[%u].key %lld >= items[%u].key %lld "
-            "(not strictly ascending)",
-            p, i - 1, static_cast<long long>(chunk->items[i - 1].key), i,
-            static_cast<long long>(chunk->items[i].key));
-      }
-      ok = false;
-    }
-  }
-  return ok;
-}
-
-bool check_invariants(const Node* chunk) { return validate(chunk, nullptr); }
+// All member-function codegen for the supported key types lives here.
+template struct BasicChunk<Key, Value, std::less<Key>>;
+template struct BasicChunk<StrKey, Value, std::less<StrKey>>;
 
 std::size_t live_nodes() {
-  return g_live_nodes.load(std::memory_order_relaxed);
+  return detail::g_live_nodes.load(std::memory_order_relaxed);
 }
 
 }  // namespace cats::chunk

@@ -10,6 +10,11 @@
 // the flexibility claim is exercised end to end (see BasicLfcaTree and
 // bench_ablation).
 //
+// The implementation is the BasicChunk<K, V, Compare> template
+// (chunk_impl.hpp); this header keeps the historical free-function API as
+// inline wrappers over the default <int64_t, uint64_t, std::less>
+// instantiation, explicitly instantiated in chunk.cpp.
+//
 // Complexity (n items): lookup O(log n); insert/remove/join/split O(n);
 // for_range O(log n + k).
 #pragma once
@@ -19,75 +24,67 @@
 #include <utility>
 
 #include "check/check.hpp"
+#include "chunk/chunk_impl.hpp"
 #include "common/function_ref.hpp"
 #include "common/types.hpp"
 
 namespace cats::chunk {
 
-struct Node;  // opaque; defined in chunk.cpp
+/// The default (integer-key) instantiation; codegen lives in chunk.cpp.
+using Impl = BasicChunk<Key, Value, std::less<Key>>;
+extern template struct BasicChunk<Key, Value, std::less<Key>>;
+
+using Node = Impl::Node;
+using Ref = Impl::Ref;
 
 namespace detail {
-void incref(const Node* node) noexcept;
-void decref(const Node* node) noexcept;
+inline void incref(const Node* node) noexcept { Impl::incref(node); }
+inline void decref(const Node* node) noexcept { Impl::decref(node); }
 }  // namespace detail
 
-/// Shared-ownership handle; default-constructed = empty container.
-class Ref {
- public:
-  Ref() noexcept = default;
-  static Ref adopt(const Node* node) noexcept {
-    Ref ref;
-    ref.node_ = node;
-    return ref;
-  }
-  Ref(const Ref& other) noexcept : node_(other.node_) {
-    if (node_ != nullptr) detail::incref(node_);
-  }
-  Ref(Ref&& other) noexcept : node_(std::exchange(other.node_, nullptr)) {}
-  Ref& operator=(const Ref& other) noexcept {
-    Ref copy(other);
-    swap(copy);
-    return *this;
-  }
-  Ref& operator=(Ref&& other) noexcept {
-    Ref moved(std::move(other));
-    swap(moved);
-    return *this;
-  }
-  ~Ref() {
-    if (node_ != nullptr) detail::decref(node_);
-  }
-  void swap(Ref& other) noexcept { std::swap(node_, other.node_); }
-  const Node* get() const noexcept { return node_; }
-  explicit operator bool() const noexcept { return node_ != nullptr; }
-  const Node* release() noexcept { return std::exchange(node_, nullptr); }
+inline bool lookup(const Node* chunk, Key key, Value* value_out) {
+  return Impl::lookup(chunk, key, value_out);
+}
+inline std::size_t size(const Node* chunk) { return Impl::size(chunk); }
+inline bool empty(const Node* chunk) { return Impl::empty(chunk); }
+inline bool less_than_two_items(const Node* chunk) {
+  return Impl::less_than_two_items(chunk);
+}
+inline Key min_key(const Node* chunk) { return Impl::min_key(chunk); }
+inline Key max_key(const Node* chunk) { return Impl::max_key(chunk); }
+inline void for_range(const Node* chunk, Key lo, Key hi, ItemVisitor visit) {
+  Impl::for_range(chunk, lo, hi, visit);
+}
+inline void for_all(const Node* chunk, ItemVisitor visit) {
+  Impl::for_all(chunk, visit);
+}
 
- private:
-  const Node* node_ = nullptr;
-};
-
-bool lookup(const Node* chunk, Key key, Value* value_out);
-std::size_t size(const Node* chunk);
-bool empty(const Node* chunk);
-bool less_than_two_items(const Node* chunk);
-Key min_key(const Node* chunk);
-Key max_key(const Node* chunk);
-void for_range(const Node* chunk, Key lo, Key hi, ItemVisitor visit);
-void for_all(const Node* chunk, ItemVisitor visit);
-
-Ref insert(const Node* chunk, Key key, Value value,
-           bool* replaced_out = nullptr);
-Ref remove(const Node* chunk, Key key, bool* removed_out = nullptr);
-Ref join(const Node* left, const Node* right);
-void split_evenly(const Node* chunk, Ref* left_out, Ref* right_out,
-                  Key* split_key_out);
+inline Ref insert(const Node* chunk, Key key, Value value,
+                  bool* replaced_out = nullptr) {
+  return Impl::insert(chunk, key, value, replaced_out);
+}
+inline Ref remove(const Node* chunk, Key key, bool* removed_out = nullptr) {
+  return Impl::remove(chunk, key, removed_out);
+}
+inline Ref join(const Node* left, const Node* right) {
+  return Impl::join(left, right);
+}
+inline void split_evenly(const Node* chunk, Ref* left_out, Ref* right_out,
+                         Key* split_key_out) {
+  Impl::split_evenly(chunk, left_out, right_out, split_key_out);
+}
 
 /// Structural checks for tests (sorted, unique, cached bounds).
-bool check_invariants(const Node* chunk);
+inline bool check_invariants(const Node* chunk) {
+  return Impl::check_invariants(chunk);
+}
 /// Same checks with one diagnostic line per violated invariant appended to
 /// `report` (CATS_CHECKED builds additionally verify the node canary).
 /// Returns true if everything holds.
-bool validate(const Node* chunk, check::Report* report);
+inline bool validate(const Node* chunk, check::Report* report) {
+  return Impl::validate(chunk, report);
+}
+/// Total live node count across all chunks and all key-type instantiations.
 std::size_t live_nodes();
 
 }  // namespace cats::chunk

@@ -50,7 +50,12 @@ class FunctionRef<R(Args...)> {
   R (*invoke_)(void*, Args...);
 };
 
-/// Visitor signature shared by all range-query implementations.
-using ItemVisitor = FunctionRef<void(Key, Value)>;
+/// Visitor signature shared by all range-query implementations, generic in
+/// the key/value types of the container being scanned.
+template <class K, class V>
+using BasicItemVisitor = FunctionRef<void(K, V)>;
+
+/// Visitor for the default (integer-key) instantiations.
+using ItemVisitor = BasicItemVisitor<Key, Value>;
 
 }  // namespace cats

@@ -1,0 +1,70 @@
+#include "common/strkey.hpp"
+
+#include <mutex>
+#include <unordered_set>
+
+#include "alloc/pool.hpp"
+
+namespace cats {
+namespace {
+
+// The intern pool: one immortal copy per distinct long string.  Character
+// storage comes from the slab pool's size classes (oversize strings fall
+// through to the heap inside pool_alloc) and is never freed — identical
+// lifetime policy to the slab registry itself, which keeps every copied
+// StrKey's pointer valid forever and makes dedup safe to rely on for the
+// fast equality path.  Interning is a key-construction cost, not a
+// tree-operation cost: hot paths compare and copy 16-byte values only.
+struct InternTable {
+  std::mutex mutex;
+  std::unordered_set<std::string_view> entries;
+};
+
+InternTable& intern_table() {
+  static InternTable* table = new InternTable;  // immortal, like the pool
+  return *table;
+}
+
+std::string_view intern(std::string_view text) {
+  InternTable& table = intern_table();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  const auto it = table.entries.find(text);
+  if (it != table.entries.end()) return *it;
+  char* storage = static_cast<char*>(alloc::pool_alloc(text.size()));
+  std::memcpy(storage, text.data(), text.size());
+  const std::string_view stored{storage, text.size()};
+  table.entries.insert(stored);
+  return stored;
+}
+
+}  // namespace
+
+StrKey StrKey::make(std::string_view text) {
+  StrKey key;
+  if (text.size() <= kInlineCapacity) {
+    std::memcpy(key.raw_, text.data(), text.size());
+    key.raw_[kLenByte] = static_cast<unsigned char>(text.size());
+    return key;
+  }
+  const std::string_view stored = intern(text);
+  const char* data = stored.data();
+  const auto length = static_cast<std::uint32_t>(stored.size());
+  std::memcpy(key.raw_, &data, sizeof(data));
+  std::memcpy(key.raw_ + 8, &length, sizeof(length));
+  key.raw_[kLenByte] = kInternedMark;
+  return key;
+}
+
+std::string StrKey::format() const {
+  if (is_minus_infinity()) return "-inf";
+  if (is_plus_infinity()) return "+inf";
+  return std::string(view());
+}
+
+std::size_t strkey_interned_count() {
+  InternTable& table = intern_table();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  return table.entries.size();
+}
+
+}  // namespace cats

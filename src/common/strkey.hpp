@@ -1,0 +1,139 @@
+// Variable-size string keys for the generic <K, V, Compare> instantiations.
+//
+// The containers copy keys by value into immutable nodes (treap leaves,
+// chunk arrays, route nodes), so the key type must be trivially copyable and
+// trivially destructible — a std::string would need constructor/destructor
+// runs the flat chunk layout (flexible array member, raw byte copies) cannot
+// provide.  StrKey is a 16-byte POD view:
+//
+//   - short strings (<= kInlineCapacity bytes) are stored inline (SSO);
+//   - longer strings are interned once into an immortal, deduplicated pool
+//     backed by alloc::pool_alloc size classes, and the key stores
+//     {pointer, length}.  Interned storage is never freed (same lifetime
+//     policy as the slab registry), so copies of a key never dangle.
+//
+// Two tag values sit outside the string domain: minus_infinity() orders
+// before every string and plus_infinity() after every string.  They are the
+// KeyTraits<StrKey>::min()/max() bounds, and — per the repo-wide key-domain
+// contract — are themselves ordinary insertable keys.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace cats {
+
+class StrKey {
+ public:
+  /// Longest string stored without touching the intern pool.
+  static constexpr std::size_t kInlineCapacity = 14;
+
+  /// Zero-initialised key: the empty string (inline, length 0).
+  constexpr StrKey() : raw_{} { raw_[kTagByte] = kTagString; }
+
+  /// Builds a key over `text`, interning it if it does not fit inline.
+  static StrKey make(std::string_view text);
+
+  /// The bounds of the key domain (see KeyTraits<StrKey>).
+  static constexpr StrKey minus_infinity() {
+    StrKey k;
+    k.raw_[kTagByte] = kTagMinusInf;
+    return k;
+  }
+  static constexpr StrKey plus_infinity() {
+    StrKey k;
+    k.raw_[kTagByte] = kTagPlusInf;
+    return k;
+  }
+
+  bool is_minus_infinity() const { return raw_[kTagByte] == kTagMinusInf; }
+  bool is_plus_infinity() const { return raw_[kTagByte] == kTagPlusInf; }
+  bool is_inline() const {
+    return raw_[kTagByte] == kTagString && raw_[kLenByte] != kInternedMark;
+  }
+
+  /// The string contents; empty for the infinities.
+  std::string_view view() const {
+    if (raw_[kTagByte] != kTagString) return {};
+    if (raw_[kLenByte] != kInternedMark) {
+      return {reinterpret_cast<const char*>(raw_), raw_[kLenByte]};
+    }
+    const char* data;
+    std::uint32_t length;
+    std::memcpy(&data, raw_, sizeof(data));
+    std::memcpy(&length, raw_ + 8, sizeof(length));
+    return {data, length};
+  }
+
+  /// Diagnostic rendering: the string itself, or "-inf"/"+inf".
+  std::string format() const;
+
+  friend bool operator==(const StrKey& a, const StrKey& b) {
+    if (a.raw_[kTagByte] != b.raw_[kTagByte]) return false;
+    if (a.raw_[kTagByte] != kTagString) return true;
+    // Interned storage is deduplicated, so equal long strings share one
+    // pointer and the 16-byte representations match; inline ditto.
+    if (std::memcmp(a.raw_, b.raw_, sizeof(a.raw_)) == 0) return true;
+    return a.view() == b.view();
+  }
+
+  friend bool operator<(const StrKey& a, const StrKey& b) {
+    if (a.raw_[kTagByte] != b.raw_[kTagByte]) {
+      return a.raw_[kTagByte] < b.raw_[kTagByte];
+    }
+    if (a.raw_[kTagByte] != kTagString) return false;
+    return a.view() < b.view();
+  }
+  friend bool operator>(const StrKey& a, const StrKey& b) { return b < a; }
+  friend bool operator<=(const StrKey& a, const StrKey& b) { return !(b < a); }
+  friend bool operator>=(const StrKey& a, const StrKey& b) { return !(a < b); }
+
+ private:
+  // raw_[15]: tag (0 = -inf, 1 = string, 2 = +inf); tag order IS key order.
+  // raw_[14]: inline length 0..14, or kInternedMark.
+  // inline:   raw_[0..13] hold the characters.
+  // interned: raw_[0..7] hold a const char* (memcpy'd — alignment-free),
+  //           raw_[8..11] the length as uint32.
+  static constexpr std::size_t kTagByte = 15;
+  static constexpr std::size_t kLenByte = 14;
+  static constexpr unsigned char kInternedMark = 0xFF;
+  static constexpr unsigned char kTagMinusInf = 0;
+  static constexpr unsigned char kTagString = 1;
+  static constexpr unsigned char kTagPlusInf = 2;
+
+  unsigned char raw_[16];
+};
+
+static_assert(sizeof(StrKey) == 16);
+static_assert(std::is_trivially_copyable_v<StrKey>);
+static_assert(std::is_trivially_destructible_v<StrKey>);
+
+/// Number of distinct long strings currently interned (test hook).
+std::size_t strkey_interned_count();
+
+template <>
+struct KeyTraits<StrKey> {
+  static StrKey min() { return StrKey::minus_infinity(); }
+  static StrKey max() { return StrKey::plus_infinity(); }
+  static std::string format(const StrKey& key) { return key.format(); }
+  static long long heat_coord(const StrKey& key) {
+    // Big-endian prefix of the string, shifted into the non-negative range:
+    // monotone over the first 7 bytes, which is all a heatmap label needs.
+    if (key.is_minus_infinity()) return std::numeric_limits<long long>::min();
+    if (key.is_plus_infinity()) return std::numeric_limits<long long>::max();
+    const std::string_view text = key.view();
+    std::uint64_t packed = 0;
+    for (std::size_t i = 0; i < 7; ++i) {
+      packed = (packed << 8) |
+               (i < text.size() ? static_cast<unsigned char>(text[i]) : 0);
+    }
+    return static_cast<long long>(packed);
+  }
+};
+
+}  // namespace cats

@@ -3,34 +3,74 @@
 //
 // The paper describes sets of integer keys and notes that sets "can trivially
 // be modified to become key-value stores".  We build the key-value variant
-// directly: every container in this repository maps a signed 64-bit key to an
-// unsigned 64-bit value (large enough for a pointer or an inline payload).
+// directly, and (since the leaf containers are swappable ordered maps) keep
+// the key type generic: the containers and the LFCA tree are templated on
+// <K, V, Compare>, with the historical <int64_t, uint64_t, std::less>
+// instantiation remaining the default fast path.
+//
+// Key-domain contract (see DESIGN.md "Key/value genericity"): every key value
+// of K — including KeyTraits<K>::min() and KeyTraits<K>::max() — is an
+// ordinary, insertable key in every structure, in every build type.  The
+// traits bounds exist so full-range scans can be spelled
+// range_query(min(), max()); they are not reserved sentinels.  Structures
+// that need internal head/tail sentinels (the skiplists) tag their sentinel
+// nodes out-of-band instead of stealing key values.
 #pragma once
 
 #include <cstdint>
 #include <limits>
+#include <string>
 
 namespace cats {
 
-/// Key type used by all ordered maps in this repository.
+/// Key type used by the default instantiation of every ordered map here.
 using Key = std::int64_t;
 
 /// Value payload type.  Wide enough to hold a pointer to an external object.
 using Value = std::uint64_t;
 
-/// Smallest representable key.  Range queries over [kKeyMin, kKeyMax] cover
-/// the whole container.
+/// Smallest representable default key.  Range queries over
+/// [kKeyMin, kKeyMax] cover the whole container.
 inline constexpr Key kKeyMin = std::numeric_limits<Key>::min();
 
-/// Largest representable key.
+/// Largest representable default key.
 inline constexpr Key kKeyMax = std::numeric_limits<Key>::max();
 
 /// A single key/value pair as stored in leaf containers.
-struct Item {
-  Key key;
-  Value value;
+template <class K, class V>
+struct BasicItem {
+  K key;
+  V value;
 
-  friend bool operator==(const Item&, const Item&) = default;
+  friend bool operator==(const BasicItem&, const BasicItem&) = default;
+};
+
+/// The default (integer-key) item type.
+using Item = BasicItem<Key, Value>;
+
+/// Per-key-type metadata the generic containers need beyond Compare:
+/// the domain bounds (for full-range scans), a human-readable formatter
+/// (validator diagnostics, topology heatmap labels) and a monotone-ish
+/// numeric projection for heatmap coordinates.
+///
+/// Specializations must provide:
+///   static K min();                      // smallest key value
+///   static K max();                      // largest key value
+///   static std::string format(const K&); // diagnostic rendering
+///   static long long heat_coord(const K&); // numeric heatmap coordinate
+template <class K>
+struct KeyTraits;
+
+/// All built-in signed integer keys share one definition.
+template <class K>
+  requires std::numeric_limits<K>::is_integer
+struct KeyTraits<K> {
+  static constexpr K min() { return std::numeric_limits<K>::min(); }
+  static constexpr K max() { return std::numeric_limits<K>::max(); }
+  static std::string format(const K& key) { return std::to_string(key); }
+  static long long heat_coord(const K& key) {
+    return static_cast<long long>(key);
+  }
 };
 
 }  // namespace cats

@@ -77,6 +77,10 @@ struct Options {
   bool csv = false;
   /// Run only the structure with this name (empty = all).
   std::string only;
+  /// Key type driven through the structures: "int" (the fast path) or
+  /// "str" (StrKey instantiations via harness::StrKeyCodec).  Binaries
+  /// without a string-keyed roster reject "str" themselves.
+  std::string key_type = "int";
   /// LFCA heuristic overrides (paper defaults when untouched).  On hosts
   /// with few hardware threads, genuine CAS contention is rare and the
   /// paper's +/-1000 thresholds barely trigger; --sensitive drops them so
@@ -179,6 +183,12 @@ struct Options {
         opt.csv = true;
       } else if (const char* v = value("--only=")) {
         opt.only = v;
+      } else if (const char* v = value("--key-type=")) {
+        if (std::strcmp(v, "int") != 0 && std::strcmp(v, "str") != 0) {
+          return fail("--key-type: expected 'int' or 'str', got '" +
+                      std::string(v) + "'");
+        }
+        opt.key_type = v;
       } else if (const char* v = value("--high-cont=")) {
         if (!detail::parse_int(v, &opt.high_cont)) {
           return fail("--high-cont: expected an integer, got '" +
@@ -277,7 +287,8 @@ struct Options {
     if (help) {
       std::printf(
           "options: --duration=SEC --runs=N --size=S --threads=a,b,c "
-          "--csv --only=NAME --paper --sensitive --high-cont=X "
+          "--csv --only=NAME --key-type=int|str --paper --sensitive "
+          "--high-cont=X "
           "--low-cont=X --cont-contrib=X --monitor-interval-ms=MS "
           "--monitor-port=P --metrics-out=FILE --series-out=FILE "
           "--check-every-n-ops=N --trace-out=FILE "

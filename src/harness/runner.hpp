@@ -47,8 +47,10 @@
 namespace cats::harness {
 
 /// Inserts random keys from [0, key_range) until the structure holds
-/// exactly key_range/2 items (the paper's pre-fill).
-template <class S>
+/// exactly key_range/2 items (the paper's pre-fill).  `Codec` maps the
+/// generator's integer keys onto the structure's key type (workload.hpp);
+/// the default is the identity, so integer-keyed call sites are unchanged.
+template <class S, class Codec = IntKeyCodec>
 void prefill(S& structure, Key key_range, std::uint64_t seed = 0xfeedbeef) {
   // Hardware counters for the prefill phase (obs builds; stub otherwise).
   obs::flight::ThreadPerf perf;
@@ -58,7 +60,9 @@ void prefill(S& structure, Key key_range, std::uint64_t seed = 0xfeedbeef) {
   const std::int64_t target = key_range / 2;
   while (inserted < target) {
     const Key k = rng.next_in(1, key_range - 1);
-    if (structure.insert(k, static_cast<Value>(k) + 1)) ++inserted;
+    if (structure.insert(Codec::encode(k), static_cast<Value>(k) + 1)) {
+      ++inserted;
+    }
   }
   obs::flight::perf_phase_add("prefill", perf.stop());
 }
@@ -74,8 +78,9 @@ struct alignas(kCacheLine) ThreadCounters {
 }  // namespace detail
 
 /// Runs the groups' mixes for `duration_seconds` against `structure`
-/// (already pre-filled) and returns the aggregated counts.
-template <class S>
+/// (already pre-filled) and returns the aggregated counts.  `Codec` must
+/// match the one used to prefill.
+template <class S, class Codec = IntKeyCodec>
 RunResult run_mix(S& structure, const std::vector<ThreadGroup>& groups,
                   Key key_range, double duration_seconds,
                   std::uint64_t seed = 1) {
@@ -126,14 +131,14 @@ RunResult run_mix(S& structure, const std::vector<ThreadGroup>& groups,
           if (dice < mix.update_permille) {
             if ((dice & 1) == 0) {
               span_kind = obs::flight::SpanKind::kInsert;
-              structure.insert(k, static_cast<Value>(k) + 1);
+              structure.insert(Codec::encode(k), static_cast<Value>(k) + 1);
             } else {
               span_kind = obs::flight::SpanKind::kRemove;
-              structure.remove(k);
+              structure.remove(Codec::encode(k));
             }
           } else if (dice < mix.update_permille + mix.lookup_permille) {
             Value v;
-            structure.lookup(k, &v);
+            structure.lookup(Codec::encode(k), &v);
 #if CATS_OBS_ENABLED
             op_hist = obs::GHistogram::kLookupLatencyNs;
 #endif
@@ -148,10 +153,12 @@ RunResult run_mix(S& structure, const std::vector<ThreadGroup>& groups,
                           1;
             std::uint64_t sum = 0;
             std::uint64_t items = 0;
-            structure.range_query(k, k + span - 1, [&](Key key, Value value) {
-              sum += static_cast<std::uint64_t>(key) + value;
-              ++items;
-            });
+            structure.range_query(
+                Codec::encode(k), Codec::encode(k + span - 1),
+                [&](typename Codec::StructKey key, Value value) {
+                  sum += Codec::weight(key) + value;
+                  ++items;
+                });
             // Keep the sum alive so the scan cannot be optimized away.
             if (sum == 0xdeadbeefdeadbeefull) std::abort();
             my.range_items += items;
@@ -221,11 +228,11 @@ RunResult run_mix(S& structure, const std::vector<ThreadGroup>& groups,
 }
 
 /// Convenience: single uniform group of `threads` threads.
-template <class S>
+template <class S, class Codec = IntKeyCodec>
 RunResult run_mix(S& structure, int threads, const Mix& mix, Key key_range,
                   double duration_seconds, std::uint64_t seed = 1) {
-  return run_mix(structure, std::vector<ThreadGroup>{{threads, mix}},
-                 key_range, duration_seconds, seed);
+  return run_mix<S, Codec>(structure, std::vector<ThreadGroup>{{threads, mix}},
+                           key_range, duration_seconds, seed);
 }
 
 // ---------------------------------------------------------------------------

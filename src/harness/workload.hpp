@@ -9,13 +9,56 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
+#include "common/strkey.hpp"
 #include "common/types.hpp"
 #include "obs/flight/perf_counters.hpp"
 
 namespace cats::harness {
+
+// ---------------------------------------------------------------------------
+// Key codecs.
+//
+// The workload generator draws integer keys uniformly from [0, S); a codec
+// maps that stream onto the key type of the structure under test, so the
+// same scenarios drive both the integer fast path and the string-key
+// instantiations.  A codec provides:
+//   StructKey        — the structure's key type
+//   kName            — CLI name (--key-type=...)
+//   encode(Key)      — order-preserving mapping from the generator's keys
+//   weight(StructKey)— cheap integer digest, summed by range queries so the
+//                      scan cannot be optimized away
+// ---------------------------------------------------------------------------
+
+/// Identity codec for the integer fast path.
+struct IntKeyCodec {
+  using StructKey = Key;
+  static constexpr const char* kName = "int";
+  static Key encode(Key k) { return k; }
+  static std::uint64_t weight(Key k) { return static_cast<std::uint64_t>(k); }
+};
+
+/// Zero-padded decimal rendering: lexicographic order equals numeric order
+/// for the generator's non-negative keys, and 14 digits keep every key
+/// inline in StrKey's small-string buffer — the hot path never touches the
+/// intern table (common/strkey.hpp).
+struct StrKeyCodec {
+  using StructKey = StrKey;
+  static constexpr const char* kName = "str";
+  static StrKey encode(Key k) {
+    // 24 bytes fit any int64 rendering; harness keys stay in [0, S), so
+    // the result is always exactly 14 digits and stays inline.
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%014lld", static_cast<long long>(k));
+    return StrKey::make(buf);
+  }
+  static std::uint64_t weight(const StrKey& k) {
+    return static_cast<std::uint64_t>(k.view().size());
+  }
+};
 
 struct Mix {
   /// Updates (insert + remove, split evenly), in permille of operations.

@@ -3,98 +3,166 @@
 // changed by providing a different set implementation."
 //
 // A policy supplies an immutable, reference-counted ordered container with
-// O(log n)-or-better lookup and persistent insert/remove/join/split.  Two
-// policies are provided:
+// O(log n)-or-better lookup and persistent insert/remove/join/split, plus
+// the key/value/comparator types the tree is instantiated over (the
+// LeafContainer concept below).  Two container families are provided, each
+// generic in <K, V, Compare>:
 //
-//   TreapContainer — the paper's choice: balanced fat-leaf tree, O(log n)
-//                    updates and splits/joins (src/treap).
-//   ChunkContainer — a flat immutable sorted array as used by the k-ary
-//                    tree and the Leaplist: O(n) updates, unbeatable scan
-//                    locality (src/chunk).  §3 explains why this degrades
-//                    when base nodes grow — bench_ablation measures it.
+//   BasicTreapContainer — the paper's choice: balanced fat-leaf tree,
+//                         O(log n) updates and splits/joins (src/treap).
+//   BasicChunkContainer — a flat immutable sorted array as used by the
+//                         k-ary tree and the Leaplist: O(n) updates,
+//                         unbeatable scan locality (src/chunk).  §3
+//                         explains why this degrades when base nodes grow —
+//                         bench_ablation measures it.
+//
+// TreapContainer / ChunkContainer are the historical integer-key aliases;
+// the Str* aliases carry the interned string-key instantiation.
 #pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <functional>
 
 #include "chunk/chunk.hpp"
 #include "common/function_ref.hpp"
+#include "common/strkey.hpp"
 #include "common/types.hpp"
 #include "treap/treap.hpp"
 
 namespace cats::lfca {
 
-struct TreapContainer {
-  using Node = treap::Node;
-  using Ref = treap::Ref;
+/// What BasicLfcaTree requires of a leaf-container policy.  (The ordered-map
+/// semantics — persistence, refcounting, Compare-consistent ordering — are
+/// contracts the type system cannot express; tests/differential_test.cpp
+/// checks them behaviourally.)
+template <class C>
+concept LeafContainer = requires(const typename C::Node* n,
+                                 typename C::Key k, typename C::Value v,
+                                 typename C::Ref ref, bool* flag,
+                                 typename C::Key* key_out,
+                                 BasicItemVisitor<typename C::Key,
+                                                  typename C::Value> visit) {
+  typename C::Key;
+  typename C::Value;
+  typename C::Compare;
+  { C::kName } -> std::convertible_to<const char*>;
+  { C::incref(n) };
+  { C::decref(n) };
+  { C::insert(n, k, v, flag) } -> std::same_as<typename C::Ref>;
+  { C::remove(n, k, flag) } -> std::same_as<typename C::Ref>;
+  { C::lookup(n, k, &v) } -> std::same_as<bool>;
+  { C::join(n, n) } -> std::same_as<typename C::Ref>;
+  { C::split_evenly(n, &ref, &ref, key_out) };
+  { C::for_range(n, k, k, visit) };
+  { C::empty(n) } -> std::same_as<bool>;
+  { C::less_than_two_items(n) } -> std::same_as<bool>;
+  { C::min_key(n) } -> std::same_as<typename C::Key>;
+  { C::max_key(n) } -> std::same_as<typename C::Key>;
+  { C::size(n) } -> std::same_as<std::size_t>;
+};
+
+template <class K, class V, class Cmp = std::less<K>>
+struct BasicTreapContainer {
+  using Impl = treap::BasicTreap<K, V, Cmp>;
+  using Node = typename Impl::Node;
+  using Ref = typename Impl::Ref;
+  using Key = K;
+  using Value = V;
+  using Compare = Cmp;
+  using Visitor = BasicItemVisitor<K, V>;
   static constexpr const char* kName = "treap";
 
-  static void incref(const Node* n) { treap::detail::incref(n); }
-  static void decref(const Node* n) { treap::detail::decref(n); }
-  static Ref insert(const Node* t, Key k, Value v, bool* replaced) {
-    return treap::insert(t, k, v, replaced);
+  static void incref(const Node* n) { Impl::incref(n); }
+  static void decref(const Node* n) { Impl::decref(n); }
+  static Ref insert(const Node* t, const K& k, const V& v, bool* replaced) {
+    return Impl::insert(t, k, v, replaced);
   }
-  static Ref remove(const Node* t, Key k, bool* removed) {
-    return treap::remove(t, k, removed);
+  static Ref remove(const Node* t, const K& k, bool* removed) {
+    return Impl::remove(t, k, removed);
   }
-  static bool lookup(const Node* t, Key k, Value* v) {
-    return treap::lookup(t, k, v);
+  static bool lookup(const Node* t, const K& k, V* v) {
+    return Impl::lookup(t, k, v);
   }
-  static Ref join(const Node* l, const Node* r) { return treap::join(l, r); }
-  static void split_evenly(const Node* t, Ref* l, Ref* r, Key* pivot) {
-    treap::split_evenly(t, l, r, pivot);
+  static Ref join(const Node* l, const Node* r) { return Impl::join(l, r); }
+  static void split_evenly(const Node* t, Ref* l, Ref* r, K* pivot) {
+    Impl::split_evenly(t, l, r, pivot);
   }
-  static void for_range(const Node* t, Key lo, Key hi, ItemVisitor visit) {
-    treap::for_range(t, lo, hi, visit);
+  static void for_range(const Node* t, const K& lo, const K& hi,
+                        Visitor visit) {
+    Impl::for_range(t, lo, hi, visit);
   }
-  static bool empty(const Node* t) { return treap::empty(t); }
+  static bool empty(const Node* t) { return Impl::empty(t); }
   static bool less_than_two_items(const Node* t) {
-    return treap::less_than_two_items(t);
+    return Impl::less_than_two_items(t);
   }
-  static Key min_key(const Node* t) { return treap::min_key(t); }
-  static Key max_key(const Node* t) { return treap::max_key(t); }
-  static std::size_t size(const Node* t) { return treap::size(t); }
+  static K min_key(const Node* t) { return Impl::min_key(t); }
+  static K max_key(const Node* t) { return Impl::max_key(t); }
+  static std::size_t size(const Node* t) { return Impl::size(t); }
   static bool check_invariants(const Node* t) {
-    return treap::check_invariants(t);
+    return Impl::check_invariants(t);
   }
   static bool validate(const Node* t, check::Report* report) {
-    return treap::validate(t, report);
+    return Impl::validate(t, report);
   }
 };
 
-struct ChunkContainer {
-  using Node = chunk::Node;
-  using Ref = chunk::Ref;
+template <class K, class V, class Cmp = std::less<K>>
+struct BasicChunkContainer {
+  using Impl = chunk::BasicChunk<K, V, Cmp>;
+  using Node = typename Impl::Node;
+  using Ref = typename Impl::Ref;
+  using Key = K;
+  using Value = V;
+  using Compare = Cmp;
+  using Visitor = BasicItemVisitor<K, V>;
   static constexpr const char* kName = "chunk";
 
-  static void incref(const Node* n) { chunk::detail::incref(n); }
-  static void decref(const Node* n) { chunk::detail::decref(n); }
-  static Ref insert(const Node* t, Key k, Value v, bool* replaced) {
-    return chunk::insert(t, k, v, replaced);
+  static void incref(const Node* n) { Impl::incref(n); }
+  static void decref(const Node* n) { Impl::decref(n); }
+  static Ref insert(const Node* t, const K& k, const V& v, bool* replaced) {
+    return Impl::insert(t, k, v, replaced);
   }
-  static Ref remove(const Node* t, Key k, bool* removed) {
-    return chunk::remove(t, k, removed);
+  static Ref remove(const Node* t, const K& k, bool* removed) {
+    return Impl::remove(t, k, removed);
   }
-  static bool lookup(const Node* t, Key k, Value* v) {
-    return chunk::lookup(t, k, v);
+  static bool lookup(const Node* t, const K& k, V* v) {
+    return Impl::lookup(t, k, v);
   }
-  static Ref join(const Node* l, const Node* r) { return chunk::join(l, r); }
-  static void split_evenly(const Node* t, Ref* l, Ref* r, Key* pivot) {
-    chunk::split_evenly(t, l, r, pivot);
+  static Ref join(const Node* l, const Node* r) { return Impl::join(l, r); }
+  static void split_evenly(const Node* t, Ref* l, Ref* r, K* pivot) {
+    Impl::split_evenly(t, l, r, pivot);
   }
-  static void for_range(const Node* t, Key lo, Key hi, ItemVisitor visit) {
-    chunk::for_range(t, lo, hi, visit);
+  static void for_range(const Node* t, const K& lo, const K& hi,
+                        Visitor visit) {
+    Impl::for_range(t, lo, hi, visit);
   }
-  static bool empty(const Node* t) { return chunk::empty(t); }
+  static bool empty(const Node* t) { return Impl::empty(t); }
   static bool less_than_two_items(const Node* t) {
-    return chunk::less_than_two_items(t);
+    return Impl::less_than_two_items(t);
   }
-  static Key min_key(const Node* t) { return chunk::min_key(t); }
-  static Key max_key(const Node* t) { return chunk::max_key(t); }
-  static std::size_t size(const Node* t) { return chunk::size(t); }
+  static K min_key(const Node* t) { return Impl::min_key(t); }
+  static K max_key(const Node* t) { return Impl::max_key(t); }
+  static std::size_t size(const Node* t) { return Impl::size(t); }
   static bool check_invariants(const Node* t) {
-    return chunk::check_invariants(t);
+    return Impl::check_invariants(t);
   }
   static bool validate(const Node* t, check::Report* report) {
-    return chunk::validate(t, report);
+    return Impl::validate(t, report);
   }
 };
+
+/// Historical integer-key policies (the paper's configuration).
+using TreapContainer = BasicTreapContainer<Key, Value, std::less<Key>>;
+using ChunkContainer = BasicChunkContainer<Key, Value, std::less<Key>>;
+
+/// Interned string-key policies (see common/strkey.hpp).
+using StrTreapContainer = BasicTreapContainer<StrKey, Value, std::less<StrKey>>;
+using StrChunkContainer = BasicChunkContainer<StrKey, Value, std::less<StrKey>>;
+
+static_assert(LeafContainer<TreapContainer>);
+static_assert(LeafContainer<ChunkContainer>);
+static_assert(LeafContainer<StrTreapContainer>);
+static_assert(LeafContainer<StrChunkContainer>);
 
 }  // namespace cats::lfca

@@ -8,5 +8,7 @@ namespace cats::lfca {
 
 template class BasicLfcaTree<TreapContainer>;
 template class BasicLfcaTree<ChunkContainer>;
+template class BasicLfcaTree<StrTreapContainer>;
+template class BasicLfcaTree<StrChunkContainer>;
 
 }  // namespace cats::lfca

@@ -51,6 +51,13 @@ template <class C>
 class BasicLfcaTree {
  public:
   using Container = C;
+  /// Key/value/comparator types come from the container policy; the
+  /// class-scope names shadow the global integer-key aliases so the whole
+  /// implementation below reads unchanged for any instantiation.
+  using Key = typename C::Key;
+  using Value = typename C::Value;
+  using Compare = typename C::Compare;
+  using ItemVisitor = BasicItemVisitor<Key, Value>;
 
   explicit BasicLfcaTree(reclaim::Domain& domain = reclaim::Domain::global(),
                          const Config& config = Config());
@@ -201,8 +208,13 @@ class BasicLfcaTree {
 using LfcaTree = BasicLfcaTree<TreapContainer>;
 /// The flat-array variant (k-ary/Leaplist-style containers, §3).
 using LfcaTreeChunk = BasicLfcaTree<ChunkContainer>;
+/// Interned string keys over both container families (common/strkey.hpp).
+using LfcaStrTree = BasicLfcaTree<StrTreapContainer>;
+using LfcaStrTreeChunk = BasicLfcaTree<StrChunkContainer>;
 
 extern template class BasicLfcaTree<TreapContainer>;
 extern template class BasicLfcaTree<ChunkContainer>;
+extern template class BasicLfcaTree<StrTreapContainer>;
+extern template class BasicLfcaTree<StrChunkContainer>;
 
 }  // namespace cats::lfca

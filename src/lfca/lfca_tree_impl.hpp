@@ -89,7 +89,7 @@ void destroy_reachable(Node<C>* n) {
 }
 
 template <class C>
-Node<C>* new_range_base(Node<C>* b, Key lo, Key hi,
+Node<C>* new_range_base(Node<C>* b, typename C::Key lo, typename C::Key hi,
                         ResultStorage<C>* storage) {
   auto* n = new Node<C>(NodeType::kRange);
   cats::sim_plain_write(n->parent, cats::sim_plain_read(b->parent));
@@ -273,7 +273,7 @@ typename BasicLfcaTree<C>::Node* BasicLfcaTree<C>::find_base_node(
     Key key) const {
   Node* n = root_.load(std::memory_order_acquire);
   while (n->type == NodeType::kRoute) {
-    n = (key < cats::sim_plain_read(n->key) ? n->left : n->right)
+    n = (Compare{}(key, cats::sim_plain_read(n->key)) ? n->left : n->right)
             .load(std::memory_order_acquire);
   }
   return n;
@@ -381,7 +381,7 @@ bool BasicLfcaTree<C>::high_contention_adaptation(Node* b) {
   [[maybe_unused]] const int stat = b->stat.load(std::memory_order_relaxed);
   typename C::Ref left_data;
   typename C::Ref right_data;
-  Key split_key = 0;
+  Key split_key{};
   C::split_evenly(b_data, &left_data, &right_data, &split_key);
 
   auto* r = new Node(NodeType::kRoute);
@@ -670,7 +670,8 @@ typename BasicLfcaTree<C>::Node* BasicLfcaTree<C>::parent_of(Node* r) const {
   Node* cur = root_.load(std::memory_order_acquire);
   while (cur != r && cur->type == NodeType::kRoute) {
     prev = cur;
-    cur = (cats::sim_plain_read(r->key) < cats::sim_plain_read(cur->key)
+    cur = (Compare{}(cats::sim_plain_read(r->key),
+                     cats::sim_plain_read(cur->key))
                ? cur->left
                : cur->right)
               .load(std::memory_order_acquire);
@@ -688,7 +689,7 @@ typename BasicLfcaTree<C>::Node* BasicLfcaTree<C>::find_base_stack(
   Node* n = root_.load(std::memory_order_acquire);
   while (n->type == NodeType::kRoute) {
     stack.push_back(n);
-    n = (key < cats::sim_plain_read(n->key) ? n->left : n->right)
+    n = (Compare{}(key, cats::sim_plain_read(n->key)) ? n->left : n->right)
             .load(std::memory_order_acquire);
   }
   stack.push_back(n);
@@ -717,7 +718,7 @@ typename BasicLfcaTree<C>::Node* BasicLfcaTree<C>::find_next_base_stack(
   while (!stack.empty()) {
     t = stack.back();
     if (t->valid.load(std::memory_order_acquire) &&
-        t->key > be_greater_than) {
+        Compare{}(be_greater_than, t->key)) {
       return leftmost_and_stack(t->right.load(std::memory_order_acquire),
                                 stack);
     }
@@ -792,7 +793,8 @@ const typename C::Node* BasicLfcaTree<C>::all_in_range(
       b = n;
       break;
     }
-    if (b->type == NodeType::kRange && cats::sim_plain_read(b->hi) >= hi) {
+    if (b->type == NodeType::kRange &&
+        !Compare{}(cats::sim_plain_read(b->hi), hi)) {
       // A wider in-flight range query covers ours: help it and use its
       // result (line 179).  Ownership audit: my_s can only be non-null here
       // after a lost CAS above, whose `delete n` already dropped the
@@ -823,7 +825,7 @@ const typename C::Node* BasicLfcaTree<C>::all_in_range(
     backup = stack;
     {
       const typename C::Node* d = cats::sim_plain_read(b->data);
-      if (!C::empty(d) && C::max_key(d) >= hi) break;
+      if (!C::empty(d) && !Compare{}(C::max_key(d), hi)) break;
     }
     bool advanced = false;
     while (!advanced) {
@@ -905,7 +907,9 @@ bool BasicLfcaTree<C>::try_optimistic_collect(
   while (true) {
     if (!is_replaceable(b)) return false;
     bases.push_back(b);
-    if (!C::empty(b->data) && C::max_key(b->data) >= hi) return true;
+    if (!C::empty(b->data) && !Compare{}(C::max_key(b->data), hi)) {
+      return true;
+    }
     b = find_next_base_stack(stack);
     if (b == nullptr) return true;
   }
@@ -980,7 +984,7 @@ std::size_t count_routes(Node<C>* n) {
 /// allocated until we are done.  The only mutable fields read are atomics
 /// (valid, join_id, stat), so the walk is race-free by construction.
 template <class C>
-void topology_walk(Node<C>* n, std::uint32_t route_depth, Key lo,
+void topology_walk(Node<C>* n, std::uint32_t route_depth, typename C::Key lo,
                    obs::TopologySnapshot& out) {
   if (n->type == NodeType::kRoute) {
     ++out.route_nodes;
@@ -1013,12 +1017,13 @@ void topology_walk(Node<C>* n, std::uint32_t route_depth, Key lo,
   out.stat_abs.add(static_cast<std::uint64_t>(stat < 0 ? -stat : stat));
 #if CATS_OBS_ENABLED
   // Contention heatmap sample: the base's key interval starts at the key of
-  // the nearest ancestor whose right subtree contains it (kKeyMin for the
-  // leftmost path), which identifies the region spatially across snapshots
-  // even as the node pointers churn.
+  // the nearest ancestor whose right subtree contains it (KeyTraits min()
+  // for the leftmost path), which identifies the region spatially across
+  // snapshots even as the node pointers churn.
   obs::BaseHeat heat;
   heat.depth = route_depth;
-  heat.key_lo = static_cast<long long>(lo);
+  heat.key_lo = KeyTraits<typename C::Key>::heat_coord(lo);
+  heat.key_label = KeyTraits<typename C::Key>::format(lo);
   heat.cas_fails = n->heat_cas_fails.load(std::memory_order_relaxed);
   heat.helps = n->heat_helps.load(std::memory_order_relaxed);
   heat.items = occupancy;
@@ -1029,32 +1034,46 @@ void topology_walk(Node<C>* n, std::uint32_t route_depth, Key lo,
 
 /// Quiescent structural check: route keys form a BST and every base node's
 /// container keys lie inside the key interval its route path implies.
+///
+/// Bounds are passed as pointers — `lo` inclusive, `hi` exclusive, nullptr
+/// meaning unbounded — so the whole key domain stays representable for any
+/// key type (the former __int128 widening only worked for integers, and
+/// silently made KeyTraits<K>::min()/max() second-class citizens).
 template <class C>
-bool check_rec(Node<C>* n, __int128 lo, __int128 hi) {
+bool check_rec(Node<C>* n, const typename C::Key* lo,
+               const typename C::Key* hi) {
+  using K = typename C::Key;
+  using Cmp = typename C::Compare;
+  const auto lt = [](const K& a, const K& b) { return Cmp{}(a, b); };
   if (n->type == NodeType::kRoute) {
-    const __int128 key = n->key;
-    if (key < lo || key > hi) return false;
+    const K& key = n->key;
+    if (lo != nullptr && lt(key, *lo)) return false;
+    if (hi != nullptr && !lt(key, *hi)) return false;
+    // Route semantics: keys < n->key descend left, keys >= n->key right.
     return check_rec<C>(n->left.load(std::memory_order_relaxed), lo,
-                        key - 1) &&
-           check_rec<C>(n->right.load(std::memory_order_relaxed), key, hi);
+                        &n->key) &&
+           check_rec<C>(n->right.load(std::memory_order_relaxed), &n->key,
+                        hi);
   }
   if (C::empty(n->data)) return true;
-  Key first = 0;
-  Key last = 0;
+  K first{};
+  K last{};
   bool started = false;
   bool sorted = true;
-  C::for_range(n->data, kKeyMin, kKeyMax, [&](Key k, Value) {
-    if (!started) {
-      first = k;
-      started = true;
-    } else if (k <= last) {
-      sorted = false;
-    }
-    last = k;
-  });
+  C::for_range(n->data, KeyTraits<K>::min(), KeyTraits<K>::max(),
+               [&](K k, typename C::Value) {
+                 if (!started) {
+                   first = k;
+                   started = true;
+                 } else if (!lt(last, k)) {
+                   sorted = false;
+                 }
+                 last = k;
+               });
   if (!sorted) return false;
-  return static_cast<__int128>(first) >= lo &&
-         static_cast<__int128>(last) <= hi;
+  if (lo != nullptr && lt(first, *lo)) return false;
+  if (hi != nullptr && !lt(last, *hi)) return false;
+  return true;
 }
 
 }  // namespace detail
@@ -1074,9 +1093,8 @@ std::size_t BasicLfcaTree<C>::route_node_count() const {
 template <class C>
 bool BasicLfcaTree<C>::check_integrity() const {
   reclaim::Domain::Guard guard(domain_);
-  constexpr __int128 lo = static_cast<__int128>(kKeyMin) - 1;
-  constexpr __int128 hi = static_cast<__int128>(kKeyMax) + 1;
-  return detail::check_rec<C>(root_.load(std::memory_order_acquire), lo, hi);
+  return detail::check_rec<C>(root_.load(std::memory_order_acquire), nullptr,
+                              nullptr);
 }
 
 template <class C>
@@ -1103,8 +1121,8 @@ template <class C>
 obs::TopologySnapshot BasicLfcaTree<C>::collect_topology() const {
   obs::TopologySnapshot out;
   reclaim::Domain::Guard guard(domain_);
-  detail::topology_walk<C>(root_.load(std::memory_order_acquire), 0, kKeyMin,
-                           out);
+  detail::topology_walk<C>(root_.load(std::memory_order_acquire), 0,
+                           KeyTraits<Key>::min(), out);
   return out;
 }
 
@@ -1114,7 +1132,8 @@ std::uint32_t BasicLfcaTree<C>::depth_of(Key key) const {
   Node* n = root_.load(std::memory_order_acquire);
   while (n->type == NodeType::kRoute) {
     ++depth;
-    n = (key < n->key ? n->left : n->right).load(std::memory_order_acquire);
+    n = (Compare{}(key, n->key) ? n->left : n->right)
+            .load(std::memory_order_acquire);
   }
   return depth;
 }

@@ -94,10 +94,12 @@ void release_join_main(Node<C>* m);
 
 template <class C>
 struct Node {
+  using Key = typename C::Key;
+
   NodeType type;
 
   // --- route_node fields -------------------------------------------------
-  Key key = 0;
+  Key key{};
   cats::atomic<Node*> left{nullptr};
   cats::atomic<Node*> right{nullptr};
   cats::atomic<bool> valid{true};
@@ -142,8 +144,8 @@ struct Node {
   Node* main_node = nullptr;
 
   // --- range_base fields -----------------------------------------------------
-  Key lo = 0;
-  Key hi = 0;
+  Key lo{};
+  Key hi{};
   ResultStorage<C>* storage = nullptr;
 
 #if CATS_CHECKED_ENABLED

@@ -98,12 +98,20 @@ void write_table(std::ostream& os, const Snapshot& snap) {
   if (!snap.hot_bases.empty()) {
     os << "-- contention heatmap (hottest bases) --\n";
     for (const Snapshot::HotBase& hot : snap.hot_bases) {
-      char line[192];
-      std::snprintf(line, sizeof line,
-                    "  #%-2u depth=%-3u key_lo=%-12lld cas_fails=%-10" PRIu64
-                    " helps=%-8" PRIu64 " items=%" PRIu64 "\n",
-                    hot.rank, hot.depth, hot.key_lo, hot.cas_fails,
-                    hot.helps, hot.items);
+      char line[256];
+      if (hot.key_label.empty()) {
+        std::snprintf(line, sizeof line,
+                      "  #%-2u depth=%-3u key_lo=%-12lld cas_fails=%-10" PRIu64
+                      " helps=%-8" PRIu64 " items=%" PRIu64 "\n",
+                      hot.rank, hot.depth, hot.key_lo, hot.cas_fails,
+                      hot.helps, hot.items);
+      } else {
+        std::snprintf(line, sizeof line,
+                      "  #%-2u depth=%-3u key_lo=%-12s cas_fails=%-10" PRIu64
+                      " helps=%-8" PRIu64 " items=%" PRIu64 "\n",
+                      hot.rank, hot.depth, hot.key_label.c_str(),
+                      hot.cas_fails, hot.helps, hot.items);
+      }
       os << line;
     }
   }
@@ -202,7 +210,12 @@ void write_json(std::ostream& os, const Snapshot& snap) {
     os << "{\"metric\":";
     json_escape(os, hot.metric);
     os << ",\"rank\":" << hot.rank << ",\"depth\":" << hot.depth
-       << ",\"key_lo\":" << hot.key_lo << ",\"cas_fails\":" << hot.cas_fails
+       << ",\"key_lo\":" << hot.key_lo;
+    if (!hot.key_label.empty()) {
+      os << ",\"key_label\":";
+      json_escape(os, hot.key_label);
+    }
+    os << ",\"cas_fails\":" << hot.cas_fails
        << ",\"helps\":" << hot.helps << ",\"items\":" << hot.items
        << ",\"stat\":" << hot.stat << '}';
   }
@@ -290,7 +303,21 @@ void write_prometheus(std::ostream& os, const Snapshot& snap) {
           last_metric = hot.metric;
         }
         os << n << "{rank=\"" << hot.rank << "\",depth=\"" << hot.depth
-           << "\",key_lo=\"" << hot.key_lo << "\"} " << value_of(hot) << '\n';
+           << "\",key_lo=\"" << hot.key_lo << "\"";
+        if (!hot.key_label.empty()) {
+          // Prometheus label values escape backslash and double-quote.
+          os << ",key=\"";
+          for (const char c : hot.key_label) {
+            if (c == '\\' || c == '"') os << '\\';
+            if (c == '\n') {
+              os << "\\n";
+            } else {
+              os << c;
+            }
+          }
+          os << '"';
+        }
+        os << "} " << value_of(hot) << '\n';
       }
     }
   }

@@ -37,6 +37,7 @@ struct Snapshot {
     std::uint32_t rank = 0;   // 0 = hottest
     std::uint32_t depth = 0;
     long long key_lo = 0;
+    std::string key_label;    // formatted key bound; empty = unlabeled
     std::uint64_t cas_fails = 0;
     std::uint64_t helps = 0;
     std::uint64_t items = 0;

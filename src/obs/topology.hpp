@@ -43,6 +43,10 @@ struct Snapshot;  // export.hpp
 struct BaseHeat {
   std::uint32_t depth = 0;
   long long key_lo = 0;           // lower bound of the base's key interval
+                                  // (KeyTraits<K>::heat_coord — a sortable
+                                  // numeric projection of the key)
+  std::string key_label;          // KeyTraits<K>::format of the same bound;
+                                  // empty when the producer has no label
   std::uint64_t cas_fails = 0;
   std::uint64_t helps = 0;
   std::uint64_t items = 0;        // container occupancy at walk time

@@ -1,6 +1,6 @@
 #include "skiplist/skiplist.hpp"
 
-#include <cassert>
+#include <cstdint>
 
 #include "common/rng.hpp"
 
@@ -9,13 +9,22 @@ namespace cats::skiplist {
 // A marked next pointer (LSB set) means the owning node is logically
 // deleted at that level; the pointer part still identifies the successor so
 // that helpers can splice the node out.
+//
+// The head/tail sentinels carry an out-of-band rank instead of stealing the
+// extreme key values: kHead orders before every key and kTail after every
+// key, so kKeyMin and kKeyMax are ordinary insertable keys in every build
+// type (the key-domain contract of common/types.hpp).
 struct SkipList::Node {
+  enum Rank : std::int8_t { kHead = -1, kItem = 0, kTail = 1 };
+
   Key key;
   std::atomic<Value> value;
+  std::int8_t rank;
   int top_level;
   std::atomic<std::uintptr_t> next[kMaxLevel + 1];
 
-  Node(Key k, Value v, int levels) : key(k), value(v), top_level(levels) {
+  Node(Key k, Value v, Rank r, int levels)
+      : key(k), value(v), rank(r), top_level(levels) {
     for (int i = 0; i <= kMaxLevel; ++i) {
       next[i].store(0, std::memory_order_relaxed);
     }
@@ -36,11 +45,21 @@ std::uintptr_t make_word(Node* node, bool marked) {
   return reinterpret_cast<std::uintptr_t>(node) | (marked ? kMarkBit : 0);
 }
 
+/// Node position strictly before `key` (head before everything, tail after).
+bool node_before(const Node* n, Key key) {
+  return n->rank == Node::kHead || (n->rank == Node::kItem && n->key < key);
+}
+
+/// Node holds exactly `key` (sentinels hold no key at all).
+bool node_is(const Node* n, Key key) {
+  return n->rank == Node::kItem && n->key == key;
+}
+
 }  // namespace
 
 SkipList::SkipList(reclaim::Domain& domain) : domain_(domain) {
-  tail_ = new Node(kKeyMax, 0, kMaxLevel);
-  head_ = new Node(kKeyMin, 0, kMaxLevel);
+  tail_ = new Node(Key{}, 0, Node::kTail, kMaxLevel);
+  head_ = new Node(Key{}, 0, Node::kHead, kMaxLevel);
   for (int i = 0; i <= kMaxLevel; ++i) {
     head_->next[i].store(make_word(tail_, false), std::memory_order_relaxed);
   }
@@ -90,7 +109,7 @@ retry:
           curr = ptr_of(succ_word);
           succ_word = curr->next[level].load(std::memory_order_acquire);
         }
-        if (curr->key < key) {
+        if (node_before(curr, key)) {
           pred = curr;
           curr = ptr_of(succ_word);
         } else {
@@ -100,12 +119,11 @@ retry:
       preds[level] = pred;
       succs[level] = curr;
     }
-    return succs[0]->key == key;
+    return node_is(succs[0], key);
   }
 }
 
 bool SkipList::insert(Key key, Value value) {
-  assert(key > kKeyMin && key < kKeyMax);  // sentinels reserve the extremes
   reclaim::Domain::Guard guard(domain_);
   Node* preds[kMaxLevel + 1];
   Node* succs[kMaxLevel + 1];
@@ -116,7 +134,7 @@ bool SkipList::insert(Key key, Value value) {
       succs[0]->value.store(value, std::memory_order_release);
       return false;
     }
-    auto* node = new Node(key, value, top);
+    auto* node = new Node(key, value, Node::kItem, top);
     for (int level = 0; level <= top; ++level) {
       node->next[level].store(make_word(succs[level], false),
                               std::memory_order_relaxed);
@@ -193,12 +211,12 @@ bool SkipList::lookup(Key key, Value* value_out) const {
   Node* curr = nullptr;
   for (int level = kMaxLevel; level >= 0; --level) {
     curr = ptr_of(pred->next[level].load(std::memory_order_acquire));
-    while (curr->key < key) {
+    while (node_before(curr, key)) {
       pred = curr;
       curr = ptr_of(curr->next[level].load(std::memory_order_acquire));
     }
   }
-  if (curr->key != key) return false;
+  if (!node_is(curr, key)) return false;
   if (is_marked(curr->next[0].load(std::memory_order_acquire))) return false;
   if (value_out != nullptr) {
     *value_out = curr->value.load(std::memory_order_acquire);
@@ -211,13 +229,14 @@ void SkipList::range_query(Key lo, Key hi, ItemVisitor visit) const {
   Node* pred = head_;
   for (int level = kMaxLevel; level >= 0; --level) {
     Node* curr = ptr_of(pred->next[level].load(std::memory_order_acquire));
-    while (curr->key < lo) {
+    while (node_before(curr, lo)) {
       pred = curr;
       curr = ptr_of(curr->next[level].load(std::memory_order_acquire));
     }
   }
   Node* curr = ptr_of(pred->next[0].load(std::memory_order_acquire));
-  while (curr->key <= hi) {  // tail has kKeyMax, terminating the walk
+  // The tail sentinel's rank terminates the walk regardless of hi.
+  while (curr->rank == Node::kItem && curr->key <= hi) {
     const std::uintptr_t next_word =
         curr->next[0].load(std::memory_order_acquire);
     if (!is_marked(next_word) && curr->key >= lo) {

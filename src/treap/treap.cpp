@@ -3,645 +3,37 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
-#include <cstdarg>
-#include <cstdlib>
 
-#include "alloc/pool.hpp"
 #include "common/catomic.hpp"
-#include "obs/registry.hpp"
+#include "common/strkey.hpp"
 
 namespace cats::treap {
 
-namespace {
+namespace detail {
 
+// Shared by every BasicTreap instantiation (see treap_impl.hpp).
 cats::atomic<std::uint32_t> g_leaf_fill{kLeafCapacity};
 cats::atomic<std::size_t> g_live_nodes{0};
 
-}  // namespace
-
-void set_leaf_fill(std::uint32_t fill) {
-  g_leaf_fill.store(std::clamp<std::uint32_t>(fill, 2, kLeafCapacity),
-                    std::memory_order_relaxed);
-}
-
-std::uint32_t leaf_fill() { return g_leaf_fill.load(std::memory_order_relaxed); }
-
-// ---------------------------------------------------------------------------
-// Node layout.  Immutable after construction; `rc` is the only mutable field.
-// ---------------------------------------------------------------------------
-
-struct Node {
-  mutable cats::atomic<std::uint64_t> rc;
-  std::uint64_t size;
-  Key min_key;
-  Key max_key;
-  std::uint8_t height;  // leaves have height 1
-  bool is_leaf;
-
-#if CATS_CHECKED_ENABLED
-  /// Canary header: treap nodes are purely refcounted (never retired), so
-  /// the states are Alive -> poison; incref/decref verify Alive.
-  check::Canary check_canary{check::kCanaryAlive};
-#endif
-
-  /// Pool-backed storage: path copying allocates O(height) nodes per
-  /// update, the dominant allocation cost of the whole tree (paper §7's
-  /// immutable fat leaves; the JVM amortizes this in the GC nursery).
-  static void* operator new(std::size_t size) {
-    void* p = alloc::pool_alloc(size);
-    cats::sim_note_alloc(p, size);
-    return p;
-  }
-
-  /// Poison-on-free under CATS_CHECKED (after the destructor, before the
-  /// block re-enters the pool): a stale pointer from a refcount bug reads
-  /// 0xEF..EF instead of plausible data — the free-list link clobbers only
-  /// the first word (`rc`), not the canary.  Under CATS_SIM the release is
-  /// quarantined until the end of the execution.
-  static void operator delete(void* p, std::size_t size) {
-    CATS_CHECKED_ONLY(check::poison(p, size));
-    if (cats::sim_quarantine_free(p, size, &alloc::pool_free)) return;
-    alloc::pool_free(p, size);
-  }
-
-  Node(std::uint64_t size_, Key min_, Key max_, std::uint8_t height_,
-       bool is_leaf_)
-      : rc(1), size(size_), min_key(min_), max_key(max_), height(height_),
-        is_leaf(is_leaf_) {
-    g_live_nodes.fetch_add(1, std::memory_order_relaxed);
-    CATS_OBS_ONLY(obs::count(obs::GCounter::kTreapNodeAllocs));
-  }
-  ~Node() {
-    CATS_CHECKED_ONLY(
-        check::canary_expect_alive(check_canary, "treap node (destructor)"));
-    g_live_nodes.fetch_sub(1, std::memory_order_relaxed);
-    CATS_OBS_ONLY(obs::count(obs::GCounter::kTreapNodeFrees));
-  }
-
-  Node(const Node&) = delete;
-  Node& operator=(const Node&) = delete;
-};
-
-namespace {
-
-struct Leaf : Node {
-  std::uint32_t count;
-  Item items[kLeafCapacity];
-
-  Leaf(const Item* src, std::uint32_t n)
-      : Node(n, src[0].key, src[n - 1].key, 1, true), count(n) {
-    std::copy_n(src, n, items);
-  }
-};
-
-struct Inner : Node {
-  const Node* left;
-  const Node* right;
-
-  Inner(const Node* l, const Node* r)
-      : Node(l->size + r->size, l->min_key, r->max_key,
-             static_cast<std::uint8_t>(std::max(l->height, r->height) + 1),
-             false),
-        left(l), right(r) {}
-};
-
-inline const Leaf* as_leaf(const Node* n) { return static_cast<const Leaf*>(n); }
-inline const Inner* as_inner(const Node* n) {
-  return static_cast<const Inner*>(n);
-}
-
-inline int h(const Node* n) { return n == nullptr ? 0 : n->height; }
-
-inline const Node* incref_ret(const Node* n) {
-  detail::incref(n);
-  return n;
-}
-
-/// New inner node; takes ownership of both child references.
-const Node* mk_inner(const Node* l, const Node* r) { return new Inner(l, r); }
-
-/// New inner node, rebalancing with AVL rotations when the height difference
-/// is 2 (it never exceeds 2 given single insert/remove/join steps).  Takes
-/// ownership of both references; children are non-null.
-const Node* bal(const Node* l, const Node* r) {
-  const int hl = h(l);
-  const int hr = h(r);
-  if (hl > hr + 1) {
-    const Inner* li = as_inner(l);  // hl >= 3, so l is inner
-    if (h(li->left) >= h(li->right)) {
-      // Single rotation:    (ll, (lr, r))
-      const Node* nr = mk_inner(incref_ret(li->right), r);
-      const Node* res = mk_inner(incref_ret(li->left), nr);
-      detail::decref(l);
-      return res;
-    }
-    // Double rotation:    ((ll, lrl), (lrr, r))
-    const Inner* lri = as_inner(li->right);
-    const Node* a = mk_inner(incref_ret(li->left), incref_ret(lri->left));
-    const Node* b = mk_inner(incref_ret(lri->right), r);
-    detail::decref(l);
-    return mk_inner(a, b);
-  }
-  if (hr > hl + 1) {
-    const Inner* ri = as_inner(r);
-    if (h(ri->right) >= h(ri->left)) {
-      const Node* nl = mk_inner(l, incref_ret(ri->left));
-      const Node* res = mk_inner(nl, incref_ret(ri->right));
-      detail::decref(r);
-      return res;
-    }
-    const Inner* rli = as_inner(ri->left);
-    const Node* a = mk_inner(l, incref_ret(rli->left));
-    const Node* b = mk_inner(incref_ret(rli->right), incref_ret(ri->right));
-    detail::decref(r);
-    return mk_inner(a, b);
-  }
-  return mk_inner(l, r);
-}
-
-const Leaf* make_leaf(const Item* items, std::uint32_t n) {
-  assert(n >= 1 && n <= kLeafCapacity);
-  return new Leaf(items, n);
-}
-
-/// Builds a leaf or a two-leaf inner from a sorted item array that may
-/// exceed the fill limit by one (insert overflow).
-const Node* build_from_items(const Item* items, std::uint32_t n) {
-  if (n <= g_leaf_fill.load(std::memory_order_relaxed)) {
-    return make_leaf(items, n);
-  }
-  const std::uint32_t half = (n + 1) / 2;
-  return mk_inner(make_leaf(items, half), make_leaf(items + half, n - half));
-}
-
-/// Concatenation with rebalancing; all keys in l precede all keys in r.
-/// Takes ownership; either side may be null.
-const Node* join_nodes(const Node* l, const Node* r) {
-  if (l == nullptr) return r;
-  if (r == nullptr) return l;
-  if (l->is_leaf && r->is_leaf &&
-      l->size + r->size <= g_leaf_fill.load(std::memory_order_relaxed)) {
-    Item merged[kLeafCapacity];
-    const Leaf* ll = as_leaf(l);
-    const Leaf* rl = as_leaf(r);
-    std::copy_n(ll->items, ll->count, merged);
-    std::copy_n(rl->items, rl->count, merged + ll->count);
-    const Node* res = make_leaf(merged, ll->count + rl->count);
-    detail::decref(l);
-    detail::decref(r);
-    return res;
-  }
-  if (h(l) > h(r) + 1) {
-    const Inner* li = as_inner(l);
-    const Node* a = incref_ret(li->left);
-    const Node* b = join_nodes(incref_ret(li->right), r);
-    detail::decref(l);
-    return bal(a, b);
-  }
-  if (h(r) > h(l) + 1) {
-    const Inner* ri = as_inner(r);
-    const Node* a = join_nodes(l, incref_ret(ri->left));
-    const Node* b = incref_ret(ri->right);
-    detail::decref(r);
-    return bal(a, b);
-  }
-  return mk_inner(l, r);
-}
-
-// --- iterative path-copy builders for insert/remove ------------------------
-//
-// Updates copy the root-to-leaf path.  A recursive builder pays a call
-// frame per level and, for an absent-key remove, an incref/decref pair per
-// level on the way back up.  Instead the descent records the path in a
-// fixed stack buffer, the leaf is rewritten, and the copy is built bottom
-// up — and an absent key is answered with a single incref of the original
-// root.  `height` is a uint8_t, so 256 entries always suffice (an AVL tree
-// of height 255 would need more nodes than any machine holds).
-
-constexpr std::size_t kMaxPath = 256;
-
-struct PathEntry {
-  const Inner* node;
-  bool went_left;
-};
-
-/// Rebuilds the path copy bottom-up.  `sub` is the owned replacement for
-/// the deepest subtree (null = became empty); siblings are increffed as
-/// they are grafted.  Returns the owned new root.
-const Node* rebuild_path(const PathEntry* path, std::size_t depth,
-                         const Node* sub) {
-  while (depth > 0) {
-    const PathEntry& e = path[--depth];
-    if (sub == nullptr) {
-      sub = incref_ret(e.went_left ? e.node->right : e.node->left);
-    } else if (e.went_left) {
-      sub = bal(sub, incref_ret(e.node->right));
-    } else {
-      sub = bal(incref_ret(e.node->left), sub);
-    }
-  }
-  return sub;
-}
-
-const Node* insert_iter(const Node* tree, Key key, Value value,
-                        bool* replaced) {
-  PathEntry path[kMaxPath];
-  std::size_t depth = 0;
-  const Node* n = tree;
-  while (!n->is_leaf) {
-    const Inner* in = as_inner(n);
-    const bool left = key < in->right->min_key;
-    path[depth++] = {in, left};
-    n = left ? in->left : in->right;
-  }
-  const Leaf* leaf = as_leaf(n);
-  const Item* end = leaf->items + leaf->count;
-  const Item* pos = std::lower_bound(
-      leaf->items, end, key,
-      [](const Item& item, Key k) { return item.key < k; });
-  Item buffer[kLeafCapacity + 1];
-  const auto prefix = static_cast<std::uint32_t>(pos - leaf->items);
-  std::copy_n(leaf->items, prefix, buffer);
-  buffer[prefix] = Item{key, value};
-  const Node* sub;
-  if (pos != end && pos->key == key) {
-    *replaced = true;
-    std::copy(pos + 1, end, buffer + prefix + 1);
-    sub = make_leaf(buffer, leaf->count);
-  } else {
-    std::copy(pos, end, buffer + prefix + 1);
-    sub = build_from_items(buffer, leaf->count + 1);
-  }
-  return rebuild_path(path, depth, sub);
-}
-
-/// Returns the new tree (owned, possibly null) after removing `key`; an
-/// absent key returns the original tree with one fresh reference.
-const Node* remove_iter(const Node* tree, Key key, bool* removed) {
-  PathEntry path[kMaxPath];
-  std::size_t depth = 0;
-  const Node* n = tree;
-  while (!n->is_leaf) {
-    const Inner* in = as_inner(n);
-    if (key <= in->left->max_key) {
-      path[depth++] = {in, true};
-      n = in->left;
-    } else if (key >= in->right->min_key) {
-      path[depth++] = {in, false};
-      n = in->right;
-    } else {
-      return incref_ret(tree);  // key falls in the gap between subtrees
-    }
-  }
-  const Leaf* leaf = as_leaf(n);
-  const Item* end = leaf->items + leaf->count;
-  const Item* pos = std::lower_bound(
-      leaf->items, end, key,
-      [](const Item& item, Key k) { return item.key < k; });
-  if (pos == end || pos->key != key) return incref_ret(tree);
-  *removed = true;
-  const Node* sub = nullptr;
-  if (leaf->count > 1) {
-    Item buffer[kLeafCapacity];
-    const auto prefix = static_cast<std::uint32_t>(pos - leaf->items);
-    std::copy_n(leaf->items, prefix, buffer);
-    std::copy(pos + 1, end, buffer + prefix);
-    sub = make_leaf(buffer, leaf->count - 1);
-  }
-  return rebuild_path(path, depth, sub);
-}
-
-/// Splits into (< key, >= key); outputs owned, possibly null.
-void split_rec(const Node* n, Key key, const Node** lo_out,
-               const Node** hi_out) {
-  if (n == nullptr) {
-    *lo_out = nullptr;
-    *hi_out = nullptr;
-    return;
-  }
-  if (n->is_leaf) {
-    const Leaf* leaf = as_leaf(n);
-    const Item* end = leaf->items + leaf->count;
-    const Item* pos = std::lower_bound(
-        leaf->items, end, key,
-        [](const Item& item, Key k) { return item.key < k; });
-    const auto prefix = static_cast<std::uint32_t>(pos - leaf->items);
-    *lo_out = prefix == 0 ? nullptr : make_leaf(leaf->items, prefix);
-    *hi_out = prefix == leaf->count ? nullptr
-                                    : make_leaf(pos, leaf->count - prefix);
-    return;
-  }
-  const Inner* in = as_inner(n);
-  if (key <= in->left->max_key) {
-    const Node* a = nullptr;
-    const Node* b = nullptr;
-    split_rec(in->left, key, &a, &b);
-    *lo_out = a;
-    *hi_out = join_nodes(b, incref_ret(in->right));
-  } else {
-    const Node* a = nullptr;
-    const Node* b = nullptr;
-    split_rec(in->right, key, &a, &b);
-    *lo_out = join_nodes(incref_ret(in->left), a);
-    *hi_out = b;
-  }
-}
-
-}  // namespace
-
-// ---------------------------------------------------------------------------
-// Reference counting.
-// ---------------------------------------------------------------------------
-
-namespace detail {
-
-void incref(const Node* node) noexcept {
-  CATS_CHECKED_ONLY(
-      check::canary_expect_alive(node->check_canary, "treap node (incref)"));
-  node->rc.fetch_add(1, std::memory_order_relaxed);
-}
-
-void decref(const Node* node) noexcept {
-  while (node != nullptr) {
-    CATS_CHECKED_ONLY(check::canary_expect_alive(node->check_canary,
-                                                 "treap node (decref)"));
-    const std::uint64_t prev =
-        node->rc.fetch_sub(1, std::memory_order_acq_rel);
-    CATS_CHECK(prev != 0, "treap node %p: refcount underflow",
-               static_cast<const void*>(node));
-    if (prev != 1) return;
-    // Treap nodes are immutable and refcounted: dropping the last
-    // reference is the only path here, so the delete cannot race a reader
-    // (any reader holds its own reference or sits behind an EBR retire of
-    // the container that owns this reference).
-    if (node->is_leaf) {
-      // catslint: direct-delete(refcounted; last reference frees)
-      delete static_cast<const Leaf*>(node);
-      return;
-    }
-    const Inner* inner = static_cast<const Inner*>(node);
-    const Node* left = inner->left;
-    const Node* right = inner->right;
-    delete inner;  // catslint: direct-delete(refcounted; last reference frees)
-    decref(left);   // bounded by tree height
-    node = right;   // iterate down the other spine
-  }
-}
-
 }  // namespace detail
 
-// ---------------------------------------------------------------------------
-// Public API.
-// ---------------------------------------------------------------------------
+// All member-function codegen for the supported key types lives here: the
+// wrappers in treap.hpp (and generic users elsewhere) link against these
+// instantiations instead of re-instantiating per translation unit.
+template struct BasicTreap<Key, Value, std::less<Key>>;
+template struct BasicTreap<StrKey, Value, std::less<StrKey>>;
 
-bool lookup(const Node* tree, Key key, Value* value_out) {
-  const Node* n = tree;
-  if (n == nullptr) return false;
-  while (!n->is_leaf) {
-    const Inner* in = as_inner(n);
-    n = key <= in->left->max_key ? in->left : in->right;
-  }
-  const Leaf* leaf = as_leaf(n);
-  const Item* end = leaf->items + leaf->count;
-  const Item* pos = std::lower_bound(
-      leaf->items, end, key,
-      [](const Item& item, Key k) { return item.key < k; });
-  if (pos == end || pos->key != key) return false;
-  if (value_out != nullptr) *value_out = pos->value;
-  return true;
+void set_leaf_fill(std::uint32_t fill) {
+  detail::g_leaf_fill.store(std::clamp<std::uint32_t>(fill, 2, kLeafCapacity),
+                            std::memory_order_relaxed);
 }
 
-std::size_t size(const Node* tree) { return tree == nullptr ? 0 : tree->size; }
-
-bool empty(const Node* tree) { return tree == nullptr; }
-
-bool less_than_two_items(const Node* tree) { return size(tree) < 2; }
-
-Key min_key(const Node* tree) {
-  assert(tree != nullptr);
-  return tree->min_key;
+std::uint32_t leaf_fill() {
+  return detail::g_leaf_fill.load(std::memory_order_relaxed);
 }
-
-Key max_key(const Node* tree) {
-  assert(tree != nullptr);
-  return tree->max_key;
-}
-
-void for_range(const Node* tree, Key lo, Key hi, ItemVisitor visit) {
-  if (tree == nullptr || tree->max_key < lo || tree->min_key > hi) return;
-  if (tree->is_leaf) {
-    const Leaf* leaf = as_leaf(tree);
-    const Item* end = leaf->items + leaf->count;
-    const Item* pos = std::lower_bound(
-        leaf->items, end, lo,
-        [](const Item& item, Key k) { return item.key < k; });
-    for (; pos != end && pos->key <= hi; ++pos) visit(pos->key, pos->value);
-    return;
-  }
-  const Inner* in = as_inner(tree);
-  for_range(in->left, lo, hi, visit);
-  for_range(in->right, lo, hi, visit);
-}
-
-void for_all(const Node* tree, ItemVisitor visit) {
-  for_range(tree, kKeyMin, kKeyMax, visit);
-}
-
-Key select(const Node* tree, std::size_t index) {
-  assert(tree != nullptr && index < tree->size);
-  const Node* n = tree;
-  while (!n->is_leaf) {
-    const Inner* in = as_inner(n);
-    if (index < in->left->size) {
-      n = in->left;
-    } else {
-      index -= in->left->size;
-      n = in->right;
-    }
-  }
-  return as_leaf(n)->items[index].key;
-}
-
-Ref insert(const Node* tree, Key key, Value value, bool* replaced_out) {
-  bool replaced = false;
-  const Node* result;
-  if (tree == nullptr) {
-    const Item item{key, value};
-    result = make_leaf(&item, 1);
-  } else {
-    result = insert_iter(tree, key, value, &replaced);
-  }
-  if (replaced_out != nullptr) *replaced_out = replaced;
-  return Ref::adopt(result);
-}
-
-Ref remove(const Node* tree, Key key, bool* removed_out) {
-  bool removed = false;
-  const Node* result =
-      tree == nullptr ? nullptr : remove_iter(tree, key, &removed);
-  if (removed_out != nullptr) *removed_out = removed;
-  return Ref::adopt(result);
-}
-
-Ref join(const Node* left, const Node* right) {
-  assert(left == nullptr || right == nullptr ||
-         left->max_key < right->min_key);
-  const Node* l = left;
-  const Node* r = right;
-  if (l != nullptr) detail::incref(l);
-  if (r != nullptr) detail::incref(r);
-  return Ref::adopt(join_nodes(l, r));
-}
-
-void split(const Node* tree, Key key, Ref* left_out, Ref* right_out) {
-  const Node* lo = nullptr;
-  const Node* hi = nullptr;
-  split_rec(tree, key, &lo, &hi);
-  *left_out = Ref::adopt(lo);
-  *right_out = Ref::adopt(hi);
-}
-
-void split_evenly(const Node* tree, Ref* left_out, Ref* right_out,
-                  Key* split_key_out) {
-  assert(size(tree) >= 2);
-  const Key pivot = select(tree, tree->size / 2);
-  split(tree, pivot, left_out, right_out);
-  *split_key_out = pivot;
-}
-
-std::size_t height(const Node* tree) { return tree == nullptr ? 0 : tree->height; }
-
-std::size_t leaf_count(const Node* tree) {
-  if (tree == nullptr) return 0;
-  if (tree->is_leaf) return 1;
-  const Inner* in = as_inner(tree);
-  return leaf_count(in->left) + leaf_count(in->right);
-}
-
-namespace {
-
-/// Records one violated invariant against `report` (when non-null) and
-/// always evaluates to false so call sites read `ok = flag(...)`.
-bool flag(check::Report* report, const char* fmt, ...)
-    __attribute__((format(printf, 2, 3)));
-
-bool flag(check::Report* report, const char* fmt, ...) {
-  if (report != nullptr) {
-    std::va_list args;
-    va_start(args, fmt);
-    report->addv(fmt, args);
-    va_end(args);
-  }
-  return false;
-}
-
-bool validate_rec(const Node* n, check::Report* report) {
-  const void* p = n;
-#if CATS_CHECKED_ENABLED
-  const std::uint64_t canary =
-      n->check_canary.load(std::memory_order_relaxed);
-  if (check::canary_state(canary) != check::CanaryState::kAlive) {
-    // Do not read further fields of a node whose canary is gone: the rest
-    // of the struct is as untrustworthy as the canary itself.
-    return flag(report, "treap node %p: canary is %s (0x%016llx), not alive",
-                p, check::canary_name(canary),
-                static_cast<unsigned long long>(canary));
-  }
-#endif
-  bool ok = true;
-  if (n->rc.load(std::memory_order_relaxed) == 0) {
-    ok = flag(report, "treap node %p: refcount is 0 but node is reachable", p);
-  }
-  if (n->is_leaf) {
-    const Leaf* leaf = as_leaf(n);
-    if (leaf->count < 1 || leaf->count > kLeafCapacity) {
-      return flag(report, "treap leaf %p: count %u outside [1, %u]", p,
-                  leaf->count, kLeafCapacity);
-    }
-    if (leaf->size != leaf->count) {
-      ok = flag(report, "treap leaf %p: size cache %llu != count %u", p,
-                static_cast<unsigned long long>(leaf->size), leaf->count);
-    }
-    if (leaf->min_key != leaf->items[0].key) {
-      ok = flag(report,
-                "treap leaf %p: min_key cache %lld != first item key %lld", p,
-                static_cast<long long>(leaf->min_key),
-                static_cast<long long>(leaf->items[0].key));
-    }
-    if (leaf->max_key != leaf->items[leaf->count - 1].key) {
-      ok = flag(report,
-                "treap leaf %p: max_key cache %lld != last item key %lld", p,
-                static_cast<long long>(leaf->max_key),
-                static_cast<long long>(leaf->items[leaf->count - 1].key));
-    }
-    for (std::uint32_t i = 1; i < leaf->count; ++i) {
-      if (leaf->items[i - 1].key >= leaf->items[i].key) {
-        ok = flag(report,
-                  "treap leaf %p: items[%u].key %lld >= items[%u].key %lld "
-                  "(not strictly ascending)",
-                  p, i - 1, static_cast<long long>(leaf->items[i - 1].key), i,
-                  static_cast<long long>(leaf->items[i].key));
-      }
-    }
-    if (leaf->height != 1) {
-      ok = flag(report, "treap leaf %p: height %u != 1", p,
-                static_cast<unsigned>(leaf->height));
-    }
-    return ok;
-  }
-  const Inner* in = as_inner(n);
-  if (in->left == nullptr || in->right == nullptr) {
-    return flag(report, "treap inner %p: null child", p);
-  }
-  if (!validate_rec(in->left, report)) ok = false;
-  if (!validate_rec(in->right, report)) ok = false;
-  if (!ok) return false;  // child fields below are only meaningful if sound
-  if (in->left->max_key >= in->right->min_key) {
-    ok = flag(report,
-              "treap inner %p: left max_key %lld >= right min_key %lld "
-              "(BST order violated)",
-              p, static_cast<long long>(in->left->max_key),
-              static_cast<long long>(in->right->min_key));
-  }
-  if (in->size != in->left->size + in->right->size) {
-    ok = flag(report, "treap inner %p: size cache %llu != %llu + %llu", p,
-              static_cast<unsigned long long>(in->size),
-              static_cast<unsigned long long>(in->left->size),
-              static_cast<unsigned long long>(in->right->size));
-  }
-  if (in->min_key != in->left->min_key) {
-    ok = flag(report, "treap inner %p: min_key cache %lld != left's %lld", p,
-              static_cast<long long>(in->min_key),
-              static_cast<long long>(in->left->min_key));
-  }
-  if (in->max_key != in->right->max_key) {
-    ok = flag(report, "treap inner %p: max_key cache %lld != right's %lld", p,
-              static_cast<long long>(in->max_key),
-              static_cast<long long>(in->right->max_key));
-  }
-  if (in->height != std::max(in->left->height, in->right->height) + 1) {
-    ok = flag(report, "treap inner %p: height %u != max(%u, %u) + 1", p,
-              static_cast<unsigned>(in->height),
-              static_cast<unsigned>(in->left->height),
-              static_cast<unsigned>(in->right->height));
-  }
-  if (std::abs(h(in->left) - h(in->right)) > 1) {
-    ok = flag(report, "treap inner %p: unbalanced (heights %d vs %d)", p,
-              h(in->left), h(in->right));
-  }
-  return ok;
-}
-
-}  // namespace
-
-bool validate(const Node* tree, check::Report* report) {
-  return tree == nullptr || validate_rec(tree, report);
-}
-
-bool check_invariants(const Node* tree) { return validate(tree, nullptr); }
 
 std::size_t live_nodes() {
-  return g_live_nodes.load(std::memory_order_relaxed);
+  return detail::g_live_nodes.load(std::memory_order_relaxed);
 }
 
 #if CATS_CHECKED_ENABLED
@@ -649,12 +41,15 @@ namespace testing {
 
 // Test-only mutations of nominally-immutable nodes: negative tests use them
 // to prove the validators actually fire.  const_cast is confined to here.
+// These stay integer-key-only free functions (not template members): the
+// key corruption is arithmetic, and keeping them outside BasicTreap keeps
+// the explicit instantiations free of int-specific code.
 
 void corrupt_first_leaf_key(const Node* tree) {
   assert(tree != nullptr);
   const Node* n = tree;
-  while (!n->is_leaf) n = as_inner(n)->left;
-  auto* leaf = const_cast<Leaf*>(as_leaf(n));
+  while (!n->is_leaf) n = Impl::as_inner(n)->left;
+  auto* leaf = const_cast<Impl::Leaf*>(Impl::as_leaf(n));
   // Breaks the min-key cache of every ancestor; with count > 1 it may also
   // break intra-leaf ordering.
   leaf->items[0].key += 1;

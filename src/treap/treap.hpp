@@ -17,6 +17,13 @@
 // operation is a pure function: inputs are never consumed, outputs carry
 // fresh references owned by the caller (wrapped in `Ref`).
 //
+// The implementation is the BasicTreap<K, V, Compare> template
+// (treap_impl.hpp); this header keeps the historical free-function API as
+// inline wrappers over the default <int64_t, uint64_t, std::less>
+// instantiation, which is explicitly instantiated in treap.cpp (the extern
+// template below) — the int fast path compiles in the same translation unit
+// it always did.
+//
 // Complexity (n items, fat leaves of up to kLeafCapacity items):
 //   lookup                O(log n)
 //   insert / remove       O(log n)        (path copying)
@@ -32,133 +39,122 @@
 #include "check/check.hpp"
 #include "common/function_ref.hpp"
 #include "common/types.hpp"
+#include "treap/treap_impl.hpp"
 
 namespace cats::treap {
 
-/// Physical capacity of a fat leaf.  The *effective* fill limit is the
-/// runtime knob `set_leaf_fill` (<= kLeafCapacity), used by the ablation
-/// benchmarks; the paper's evaluation uses 64.
-inline constexpr std::uint32_t kLeafCapacity = 64;
+/// The default (integer-key) instantiation; codegen lives in treap.cpp.
+using Impl = BasicTreap<Key, Value, std::less<Key>>;
+extern template struct BasicTreap<Key, Value, std::less<Key>>;
 
 /// Sets the effective leaf fill limit (clamped to [2, kLeafCapacity]).
-/// Affects leaves created afterwards; existing trees remain valid.
+/// Affects leaves created afterwards; existing trees remain valid.  The
+/// knob is shared by every BasicTreap instantiation.
 void set_leaf_fill(std::uint32_t fill);
 std::uint32_t leaf_fill();
 
-struct Node;  // opaque; defined in treap.cpp
+using Node = Impl::Node;
+using Ref = Impl::Ref;
 
 namespace detail {
-void incref(const Node* node) noexcept;
-void decref(const Node* node) noexcept;
+inline void incref(const Node* node) noexcept { Impl::incref(node); }
+inline void decref(const Node* node) noexcept { Impl::decref(node); }
 }  // namespace detail
-
-/// Shared-ownership handle to an immutable tree.  A default-constructed Ref
-/// is the empty container.
-class Ref {
- public:
-  Ref() noexcept = default;
-  /// Adopts an already-owned reference (used by the implementation).
-  static Ref adopt(const Node* node) noexcept {
-    Ref ref;
-    ref.node_ = node;
-    return ref;
-  }
-
-  Ref(const Ref& other) noexcept : node_(other.node_) {
-    if (node_ != nullptr) detail::incref(node_);
-  }
-  Ref(Ref&& other) noexcept : node_(std::exchange(other.node_, nullptr)) {}
-  Ref& operator=(const Ref& other) noexcept {
-    Ref copy(other);
-    swap(copy);
-    return *this;
-  }
-  Ref& operator=(Ref&& other) noexcept {
-    Ref moved(std::move(other));
-    swap(moved);
-    return *this;
-  }
-  ~Ref() {
-    if (node_ != nullptr) detail::decref(node_);
-  }
-
-  void swap(Ref& other) noexcept { std::swap(node_, other.node_); }
-  const Node* get() const noexcept { return node_; }
-  explicit operator bool() const noexcept { return node_ != nullptr; }
-
-  /// Releases ownership without decrementing (for handoff into atomics).
-  const Node* release() noexcept { return std::exchange(node_, nullptr); }
-
- private:
-  const Node* node_ = nullptr;
-};
 
 // --- Queries (accept raw node pointers so lock-free readers can use them
 // --- on pointers protected by an epoch guard rather than a Ref). ----------
 
 /// Looks up `key`; writes the value through `value_out` (may be null).
-bool lookup(const Node* tree, Key key, Value* value_out);
+inline bool lookup(const Node* tree, Key key, Value* value_out) {
+  return Impl::lookup(tree, key, value_out);
+}
 
-std::size_t size(const Node* tree);
-bool empty(const Node* tree);
+inline std::size_t size(const Node* tree) { return Impl::size(tree); }
+inline bool empty(const Node* tree) { return Impl::empty(tree); }
 /// True if the container holds fewer than two items (split precondition).
-bool less_than_two_items(const Node* tree);
+inline bool less_than_two_items(const Node* tree) {
+  return Impl::less_than_two_items(tree);
+}
 /// Smallest / largest key.  Precondition: !empty(tree).
-Key min_key(const Node* tree);
-Key max_key(const Node* tree);
+inline Key min_key(const Node* tree) { return Impl::min_key(tree); }
+inline Key max_key(const Node* tree) { return Impl::max_key(tree); }
 
 /// Visits every item with lo <= key <= hi in ascending key order.
-void for_range(const Node* tree, Key lo, Key hi, ItemVisitor visit);
+inline void for_range(const Node* tree, Key lo, Key hi, ItemVisitor visit) {
+  Impl::for_range(tree, lo, hi, visit);
+}
 /// Visits every item in ascending key order.
-void for_all(const Node* tree, ItemVisitor visit);
+inline void for_all(const Node* tree, ItemVisitor visit) {
+  Impl::for_all(tree, visit);
+}
 
 /// Key of rank `index` (0-based, ascending).  Precondition: index < size.
-Key select(const Node* tree, std::size_t index);
+inline Key select(const Node* tree, std::size_t index) {
+  return Impl::select(tree, index);
+}
 
 // --- Persistent updates (pure; inputs not consumed). ----------------------
 
 /// Returns a version with (key, value) present.  `*replaced_out` (may be
 /// null) is set to true iff an existing item with `key` was overwritten.
-Ref insert(const Node* tree, Key key, Value value,
-           bool* replaced_out = nullptr);
+inline Ref insert(const Node* tree, Key key, Value value,
+                  bool* replaced_out = nullptr) {
+  return Impl::insert(tree, key, value, replaced_out);
+}
 
 /// Returns a version without `key`.  `*removed_out` (may be null) is set to
 /// true iff an item was removed.
-Ref remove(const Node* tree, Key key, bool* removed_out = nullptr);
+inline Ref remove(const Node* tree, Key key, bool* removed_out = nullptr) {
+  return Impl::remove(tree, key, removed_out);
+}
 
 /// Concatenates two trees; every key in `left` must be smaller than every
 /// key in `right`.
-Ref join(const Node* left, const Node* right);
+inline Ref join(const Node* left, const Node* right) {
+  return Impl::join(left, right);
+}
 
 /// Splits by key: `left_out` receives keys < key, `right_out` keys >= key.
-void split(const Node* tree, Key key, Ref* left_out, Ref* right_out);
+inline void split(const Node* tree, Key key, Ref* left_out, Ref* right_out) {
+  Impl::split(tree, key, left_out, right_out);
+}
 
 /// Splits into halves of (nearly) equal size.  `split_key_out` receives the
 /// smallest key of the right half (route-node semantics: < key goes left).
 /// Precondition: size(tree) >= 2.
-void split_evenly(const Node* tree, Ref* left_out, Ref* right_out,
-                  Key* split_key_out);
+inline void split_evenly(const Node* tree, Ref* left_out, Ref* right_out,
+                         Key* split_key_out) {
+  Impl::split_evenly(tree, left_out, right_out, split_key_out);
+}
 
 // --- Introspection for tests and statistics. ------------------------------
 
 /// Height of the tree (empty = 0, single leaf = 1).
-std::size_t height(const Node* tree);
+inline std::size_t height(const Node* tree) { return Impl::height(tree); }
 /// Number of fat leaves.
-std::size_t leaf_count(const Node* tree);
+inline std::size_t leaf_count(const Node* tree) {
+  return Impl::leaf_count(tree);
+}
 /// Verifies all structural invariants (ordering, balance, sizes, min/max
 /// caches, leaf fill bounds).  Returns true if they all hold.
-bool check_invariants(const Node* tree);
+inline bool check_invariants(const Node* tree) {
+  return Impl::check_invariants(tree);
+}
 /// Same checks with one diagnostic line per violated invariant appended to
 /// `report` (CATS_CHECKED builds additionally verify node canaries and
 /// refcount sanity).  Returns true if everything holds.
-bool validate(const Node* tree, check::Report* report);
-/// Total live node count across all trees (leak detection in tests).
+inline bool validate(const Node* tree, check::Report* report) {
+  return Impl::validate(tree, report);
+}
+/// Total live node count across all trees — and all key-type instantiations
+/// (leak detection in tests).
 std::size_t live_nodes();
 
 #if CATS_CHECKED_ENABLED
 namespace testing {
 /// Deliberately corrupts the leftmost leaf's first key so ordering and the
-/// min-key cache break — negative tests prove the validators fire.
+/// min-key cache break — negative tests prove the validators fire.  Integer
+/// keys only (the corruption is arithmetic), hence outside the template.
 void corrupt_first_leaf_key(const Node* tree);
 /// Smashes the root node's canary — negative tests of the canary protocol.
 void corrupt_canary(const Node* tree);

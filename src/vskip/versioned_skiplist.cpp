@@ -1,7 +1,7 @@
 #include "vskip/versioned_skiplist.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <cstdint>
 
 #include "common/backoff.hpp"
 #include "common/rng.hpp"
@@ -22,13 +22,20 @@ struct VersionedSkipList::Record {
 
 /// Per-key index node.  Never physically removed: logical removal is a
 /// tombstone record, so the index needs no deletion marks.
+///
+/// Head/tail sentinels carry an out-of-band rank rather than stealing the
+/// extreme key values, so kKeyMin and kKeyMax are ordinary insertable keys
+/// in every build type (the key-domain contract of common/types.hpp).
 struct VersionedSkipList::Node {
+  enum Rank : std::int8_t { kHead = -1, kItem = 0, kTail = 1 };
+
   const Key key;
+  const std::int8_t rank;
   const int top_level;
   std::atomic<Record*> records{nullptr};
   std::atomic<Node*> next[kMaxLevel + 1];
 
-  Node(Key k, int levels) : key(k), top_level(levels) {
+  Node(Key k, Rank r, int levels) : key(k), rank(r), top_level(levels) {
     for (auto& n : next) n.store(nullptr, std::memory_order_relaxed);
   }
 };
@@ -51,12 +58,24 @@ void record_deleter(void* p) {
   delete static_cast<VersionedSkipList::Record*>(p);
 }
 
+using Node = VersionedSkipList::Node;
+
+/// Node position strictly before `key` (head before everything, tail after).
+bool node_before(const Node* n, Key key) {
+  return n->rank == Node::kHead || (n->rank == Node::kItem && n->key < key);
+}
+
+/// Node holds exactly `key` (sentinels hold no key at all).
+bool node_is(const Node* n, Key key) {
+  return n->rank == Node::kItem && n->key == key;
+}
+
 }  // namespace
 
 VersionedSkipList::VersionedSkipList(reclaim::Domain& domain)
     : domain_(domain) {
-  tail_ = new Node(kKeyMax, kMaxLevel);
-  head_ = new Node(kKeyMin, kMaxLevel);
+  tail_ = new Node(Key{}, Node::kTail, kMaxLevel);
+  head_ = new Node(Key{}, Node::kHead, kMaxLevel);
   for (int i = 0; i <= kMaxLevel; ++i) {
     head_->next[i].store(tail_, std::memory_order_relaxed);
   }
@@ -84,16 +103,15 @@ VersionedSkipList::Node* VersionedSkipList::find_node(Key key) const {
   Node* curr = nullptr;
   for (int level = kMaxLevel; level >= 0; --level) {
     curr = pred->next[level].load(std::memory_order_acquire);
-    while (curr->key < key) {
+    while (node_before(curr, key)) {
       pred = curr;
       curr = curr->next[level].load(std::memory_order_acquire);
     }
   }
-  return curr->key == key ? curr : nullptr;
+  return node_is(curr, key) ? curr : nullptr;
 }
 
 VersionedSkipList::Node* VersionedSkipList::get_or_insert_node(Key key) {
-  assert(key > kKeyMin && key < kKeyMax);
   Node* preds[kMaxLevel + 1];
   Node* succs[kMaxLevel + 1];
   while (true) {
@@ -101,17 +119,17 @@ VersionedSkipList::Node* VersionedSkipList::get_or_insert_node(Key key) {
     Node* pred = head_;
     for (int level = kMaxLevel; level >= 0; --level) {
       Node* curr = pred->next[level].load(std::memory_order_acquire);
-      while (curr->key < key) {
+      while (node_before(curr, key)) {
         pred = curr;
         curr = curr->next[level].load(std::memory_order_acquire);
       }
       preds[level] = pred;
       succs[level] = curr;
     }
-    if (succs[0]->key == key) return succs[0];
+    if (node_is(succs[0], key)) return succs[0];
 
     const int top = random_level();
-    auto* node = new Node(key, top);
+    auto* node = new Node(key, Node::kItem, top);
     for (int level = 0; level <= top; ++level) {
       node->next[level].store(succs[level], std::memory_order_relaxed);
     }
@@ -136,7 +154,7 @@ VersionedSkipList::Node* VersionedSkipList::get_or_insert_node(Key key) {
         Node* p = head_;
         for (int l = kMaxLevel; l >= level; --l) {
           Node* c = p->next[l].load(std::memory_order_acquire);
-          while (c->key < key) {
+          while (node_before(c, key)) {
             p = c;
             c = c->next[l].load(std::memory_order_acquire);
           }
@@ -285,13 +303,14 @@ void VersionedSkipList::range_query(Key lo, Key hi, ItemVisitor visit) const {
   Node* pred = head_;
   for (int level = kMaxLevel; level >= 0; --level) {
     Node* curr = pred->next[level].load(std::memory_order_acquire);
-    while (curr->key < lo) {
+    while (node_before(curr, lo)) {
       pred = curr;
       curr = curr->next[level].load(std::memory_order_acquire);
     }
   }
   Node* curr = pred->next[0].load(std::memory_order_acquire);
-  while (curr->key <= hi) {
+  // The tail sentinel's rank terminates the walk regardless of hi.
+  while (curr->rank == Node::kItem && curr->key <= hi) {
     Record* rec = curr->records.load(std::memory_order_acquire);
     while (rec != nullptr) {
       if (finalize(rec) <= v) break;  // newest record visible at v

@@ -5,11 +5,15 @@
 // seeds and key densities; any divergence pinpoints the op index.
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <map>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "calock/ca_tree.hpp"
 #include "common/rng.hpp"
+#include "common/strkey.hpp"
 #include "imtr/imtr_set.hpp"
 #include "kary/kary_tree.hpp"
 #include "lfca/lfca_tree.hpp"
@@ -96,6 +100,87 @@ TYPED_TEST(DifferentialFuzz, SparseKeys) {
   run_stream<TypeParam>({303, 4000, 1'000'000});
 }
 
+// Sentinel boundary agreement: keys come from an adversarial palette — the
+// domain extremes and their neighbors, negatives, and dense clusters around
+// zero — and one range query in four is the full-domain scan
+// range_query(kKeyMin, kKeyMax).  Per the key-domain contract
+// (common/types.hpp), every structure must treat kKeyMin and kKeyMax as
+// ordinary keys in every build type; before the out-of-band sentinel ranks,
+// the skiplists silently collided these with their head/tail sentinels in
+// release builds.
+template <class S>
+void run_adversarial_stream(std::uint64_t seed, int operations) {
+  static constexpr Key kPalette[] = {
+      kKeyMin,       kKeyMin + 1, kKeyMin + 2, kKeyMin + 7,
+      -1'000'000'007, -65536,     -257,        -256,
+      -255,          -17,         -3,          -2,
+      -1,            0,           1,           2,
+      3,             15,          16,          17,
+      255,           256,         257,         65536,
+      kKeyMax - 7,   kKeyMax - 2, kKeyMax - 1, kKeyMax,
+  };
+  S structure;
+  std::map<Key, Value> model;
+  Xoshiro256 rng(seed);
+
+  auto pick = [&] { return kPalette[rng.next_below(std::size(kPalette))]; };
+  for (int i = 0; i < operations; ++i) {
+    const auto kind = rng.next_below(10);
+    if (kind < 4) {
+      const Key k = pick();
+      const Value v = rng.next() | 1;
+      ASSERT_EQ(structure.insert(k, v), model.count(k) == 0)
+          << "insert mismatch at op " << i << " key " << k;
+      model[k] = v;
+    } else if (kind < 6) {
+      const Key k = pick();
+      ASSERT_EQ(structure.remove(k), model.erase(k) == 1)
+          << "remove mismatch at op " << i << " key " << k;
+    } else if (kind < 8) {
+      const Key k = pick();
+      Value v = 0;
+      const bool found = structure.lookup(k, &v);
+      auto it = model.find(k);
+      ASSERT_EQ(found, it != model.end())
+          << "lookup mismatch at op " << i << " key " << k;
+      if (found) {
+        ASSERT_EQ(v, it->second) << "op " << i << " key " << k;
+      }
+    } else {
+      Key lo = pick();
+      Key hi = pick();
+      if (hi < lo) std::swap(lo, hi);
+      if (rng.next_below(4) == 0) {
+        lo = kKeyMin;
+        hi = kKeyMax;
+      }
+      std::vector<Item> got;
+      structure.range_query(lo, hi,
+                            [&](Key key, Value v) { got.push_back({key, v}); });
+      std::vector<Item> want;
+      for (auto it = model.lower_bound(lo);
+           it != model.end() && it->first <= hi; ++it) {
+        want.push_back({it->first, it->second});
+      }
+      ASSERT_EQ(got.size(), want.size())
+          << "range [" << lo << ", " << hi << "] size mismatch at op " << i;
+      for (std::size_t j = 0; j < got.size(); ++j) {
+        ASSERT_EQ(got[j].key, want[j].key) << "op " << i;
+        ASSERT_EQ(got[j].value, want[j].value) << "op " << i;
+      }
+    }
+  }
+  ASSERT_EQ(structure.size(), model.size());
+}
+
+TYPED_TEST(DifferentialFuzz, AdversarialSentinelKeys) {
+  run_adversarial_stream<TypeParam>(505, 4000);
+}
+
+TYPED_TEST(DifferentialFuzz, AdversarialSentinelKeysSecondSeed) {
+  run_adversarial_stream<TypeParam>(606, 4000);
+}
+
 TYPED_TEST(DifferentialFuzz, RemoveHeavy) {
   // A second generator biases toward removals by replaying inserts first.
   TypeParam structure;
@@ -111,6 +196,109 @@ TYPED_TEST(DifferentialFuzz, RemoveHeavy) {
     ASSERT_EQ(structure.remove(k), model.erase(k) == 1) << "op " << i;
   }
   ASSERT_EQ(structure.size(), model.size());
+}
+
+// --- String-key twin. ------------------------------------------------------
+//
+// The StrKey instantiations run the same differential protocol against
+// std::map<StrKey, Value>.  The key palette mixes inline (SSO) strings,
+// interned long strings, the empty string, and both infinities — which are
+// ordinary insertable keys per the key-domain contract.
+
+template <class S>
+class StrDifferentialFuzz : public ::testing::Test {};
+
+using StrStructures = ::testing::Types<lfca::LfcaStrTree, lfca::LfcaStrTreeChunk>;
+TYPED_TEST_SUITE(StrDifferentialFuzz, StrStructures);
+
+std::vector<StrKey> str_palette() {
+  std::vector<StrKey> keys;
+  keys.push_back(StrKey::minus_infinity());
+  keys.push_back(StrKey::plus_infinity());
+  keys.push_back(StrKey::make(""));
+  for (int i = 0; i < 48; ++i) {
+    std::string text = "k";
+    text += std::to_string(i * 37 % 100);
+    keys.push_back(StrKey::make(text));
+  }
+  for (int i = 0; i < 12; ++i) {
+    // Longer than StrKey::kInlineCapacity: exercises the intern pool.
+    std::string text = "interned-key-with-long-suffix-";
+    text += std::to_string(i);
+    keys.push_back(StrKey::make(text));
+  }
+  return keys;
+}
+
+template <class S>
+void run_str_stream(std::uint64_t seed, int operations) {
+  const std::vector<StrKey> palette = str_palette();
+  S structure;
+  std::map<StrKey, Value> model;
+  Xoshiro256 rng(seed);
+
+  auto pick = [&] { return palette[rng.next_below(palette.size())]; };
+  for (int i = 0; i < operations; ++i) {
+    const auto kind = rng.next_below(10);
+    if (kind < 4) {
+      const StrKey k = pick();
+      const Value v = rng.next() | 1;
+      ASSERT_EQ(structure.insert(k, v), model.count(k) == 0)
+          << "insert mismatch at op " << i << " key " << k.format();
+      model[k] = v;
+    } else if (kind < 6) {
+      const StrKey k = pick();
+      ASSERT_EQ(structure.remove(k), model.erase(k) == 1)
+          << "remove mismatch at op " << i << " key " << k.format();
+    } else if (kind < 8) {
+      const StrKey k = pick();
+      Value v = 0;
+      const bool found = structure.lookup(k, &v);
+      auto it = model.find(k);
+      ASSERT_EQ(found, it != model.end())
+          << "lookup mismatch at op " << i << " key " << k.format();
+      if (found) {
+        ASSERT_EQ(v, it->second) << "op " << i;
+      }
+    } else {
+      StrKey lo = pick();
+      StrKey hi = pick();
+      if (hi < lo) std::swap(lo, hi);
+      if (rng.next_below(4) == 0) {
+        // Full-domain scan: the traits bounds must enumerate everything,
+        // including any infinity keys inserted as ordinary items.
+        lo = KeyTraits<StrKey>::min();
+        hi = KeyTraits<StrKey>::max();
+      }
+      std::vector<std::pair<StrKey, Value>> got;
+      structure.range_query(lo, hi, [&](StrKey key, Value v) {
+        got.push_back({key, v});
+      });
+      std::vector<std::pair<StrKey, Value>> want;
+      for (auto it = model.lower_bound(lo);
+           it != model.end() && it->first <= hi; ++it) {
+        want.push_back({it->first, it->second});
+      }
+      ASSERT_EQ(got.size(), want.size())
+          << "range [" << lo.format() << ", " << hi.format()
+          << "] size mismatch at op " << i;
+      for (std::size_t j = 0; j < got.size(); ++j) {
+        ASSERT_TRUE(got[j].first == want[j].first)
+            << "op " << i << ": got " << got[j].first.format() << " want "
+            << want[j].first.format();
+        ASSERT_EQ(got[j].second, want[j].second) << "op " << i;
+      }
+    }
+  }
+  ASSERT_EQ(structure.size(), model.size());
+}
+
+TYPED_TEST(StrDifferentialFuzz, MixedInlineAndInterned) {
+  run_str_stream<TypeParam>(707, 6000);
+}
+
+TYPED_TEST(StrDifferentialFuzz, SecondSeed) {
+  run_str_stream<TypeParam>(808, 6000);
 }
 
 }  // namespace

@@ -178,6 +178,21 @@ TEST(Cli, ParsesEveryFlag) {
   g_check_every_n_ops.store(0);  // don't leak state into other tests
 }
 
+TEST(Cli, KeyTypeSelection) {
+  EXPECT_EQ(parse_args({}).opt.key_type, "int");  // default: the fast path
+  const ParseResult str = parse_args({"--key-type=str"});
+  ASSERT_TRUE(str.ok) << str.error;
+  EXPECT_EQ(str.opt.key_type, "str");
+  const ParseResult i = parse_args({"--key-type=int"});
+  ASSERT_TRUE(i.ok) << i.error;
+  EXPECT_EQ(i.opt.key_type, "int");
+  // Anything else is a hard parse error, not a silent fallback.
+  const ParseResult bad = parse_args({"--key-type=uuid"});
+  ASSERT_FALSE(bad.ok);
+  EXPECT_EQ(bad.error, "--key-type: expected 'int' or 'str', got 'uuid'");
+  EXPECT_FALSE(parse_args({"--key-type="}).ok);
+}
+
 TEST(Cli, RejectsDuplicateFlags) {
   const ParseResult r = parse_args({"--runs=2", "--runs=3"});
   ASSERT_FALSE(r.ok);

@@ -15,6 +15,7 @@
 #include "calock/ca_tree.hpp"
 #include "common/rng.hpp"
 #include "common/spin_barrier.hpp"
+#include "common/strkey.hpp"
 #include "imtr/imtr_set.hpp"
 #include "lfca/lfca_tree.hpp"
 
@@ -214,6 +215,42 @@ TEST(Linearizability, CaTreeHistories) {
 
 TEST(Linearizability, ImtrHistories) {
   check_many_histories<imtr::ImTreeSet>("imtr");
+}
+
+// String-key twin: the same histories driven through the StrKey
+// instantiations.  The adapter renders the 0..7 universe as "key-N" strings
+// (lexicographic order matches numeric order for one digit), so the
+// recorder and checker are reused unchanged.
+template <class Tree>
+class StrUniverseAdapter {
+ public:
+  bool insert(int key, Value value) { return tree_.insert(encode(key), value); }
+  bool remove(int key) { return tree_.remove(encode(key)); }
+  bool lookup(int key, Value* value_out) {
+    return tree_.lookup(encode(key), value_out);
+  }
+  template <class F>
+  void range_query(int lo, int hi, F&& visit) {
+    tree_.range_query(encode(lo), encode(hi), [&](StrKey key, Value value) {
+      visit(static_cast<Key>(key.view().back() - '0'), value);
+    });
+  }
+
+ private:
+  static StrKey encode(int key) {
+    return StrKey::make("key-" + std::to_string(key));
+  }
+
+  Tree tree_;
+};
+
+TEST(Linearizability, LfcaStrTreeHistories) {
+  check_many_histories<StrUniverseAdapter<lfca::LfcaStrTree>>("lfca-str");
+}
+
+TEST(Linearizability, LfcaStrTreeChunkHistories) {
+  check_many_histories<StrUniverseAdapter<lfca::LfcaStrTreeChunk>>(
+      "lfca-str-chunk");
 }
 
 }  // namespace

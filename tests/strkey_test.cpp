@@ -1,0 +1,107 @@
+// Unit tests for StrKey (common/strkey.hpp): inline vs interned storage,
+// total order including the infinity tags, deduplication through the intern
+// pool, and the KeyTraits<StrKey> specialization.
+#include "common/strkey.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace cats {
+namespace {
+
+TEST(StrKey, InlineStorageUpToCapacity) {
+  const std::string at_cap(StrKey::kInlineCapacity, 'x');
+  EXPECT_TRUE(StrKey::make("").is_inline());
+  EXPECT_TRUE(StrKey::make("hello").is_inline());
+  EXPECT_TRUE(StrKey::make(at_cap).is_inline());
+  EXPECT_FALSE(StrKey::make(at_cap + "x").is_inline());
+}
+
+TEST(StrKey, ViewRoundTrips) {
+  EXPECT_EQ(StrKey::make("").view(), "");
+  EXPECT_EQ(StrKey::make("short").view(), "short");
+  const std::string long_text = "a string well past the inline capacity";
+  EXPECT_EQ(StrKey::make(long_text).view(), long_text);
+}
+
+TEST(StrKey, OrderingMatchesStringOrder) {
+  const std::vector<std::string> sorted = {
+      "", "a", "ab", "abc", "b", "ba",
+      "long-string-number-one-aaaaaaaaaa", "long-string-number-two-bbbbbbbbbb",
+      "z"};
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    for (std::size_t j = 0; j < sorted.size(); ++j) {
+      const StrKey a = StrKey::make(sorted[i]);
+      const StrKey b = StrKey::make(sorted[j]);
+      EXPECT_EQ(a < b, sorted[i] < sorted[j]) << sorted[i] << " vs " << sorted[j];
+      EXPECT_EQ(a == b, i == j) << sorted[i] << " vs " << sorted[j];
+    }
+  }
+}
+
+TEST(StrKey, InfinitiesBracketEveryString) {
+  const StrKey lo = StrKey::minus_infinity();
+  const StrKey hi = StrKey::plus_infinity();
+  EXPECT_TRUE(lo < hi);
+  EXPECT_FALSE(hi < lo);
+  EXPECT_TRUE(lo == StrKey::minus_infinity());
+  EXPECT_TRUE(hi == StrKey::plus_infinity());
+  for (const char* text : {"", "a", "zzzzzzzzzzzzzzzzzzzzzzzzzzzzzz"}) {
+    const StrKey k = StrKey::make(text);
+    EXPECT_TRUE(lo < k) << text;
+    EXPECT_TRUE(k < hi) << text;
+  }
+  // The empty string is a real key, distinct from both infinities.
+  EXPECT_FALSE(StrKey::make("") == lo);
+  EXPECT_FALSE(StrKey::make("") == hi);
+}
+
+TEST(StrKey, InternPoolDeduplicates) {
+  // Unique to this test so other tests' interning cannot interfere.
+  const std::string text = "strkey-dedup-test-unique-long-string";
+  const std::size_t before = strkey_interned_count();
+  const StrKey a = StrKey::make(text);
+  EXPECT_EQ(strkey_interned_count(), before + 1);
+  const StrKey b = StrKey::make(text);
+  EXPECT_EQ(strkey_interned_count(), before + 1);  // deduplicated
+  EXPECT_TRUE(a == b);
+  // Dedup means the two keys share storage: the views alias byte-for-byte.
+  EXPECT_EQ(a.view().data(), b.view().data());
+}
+
+TEST(StrKey, CopiesAreStable) {
+  const StrKey original =
+      StrKey::make("another-unique-interned-string-for-copies");
+  const StrKey copy = original;  // trivial 16-byte copy
+  EXPECT_TRUE(copy == original);
+  EXPECT_EQ(copy.view(), original.view());
+}
+
+TEST(StrKey, Format) {
+  EXPECT_EQ(StrKey::make("abc").format(), "abc");
+  EXPECT_EQ(StrKey::minus_infinity().format(), "-inf");
+  EXPECT_EQ(StrKey::plus_infinity().format(), "+inf");
+}
+
+TEST(StrKeyTraits, BoundsAndFormat) {
+  EXPECT_TRUE(KeyTraits<StrKey>::min() == StrKey::minus_infinity());
+  EXPECT_TRUE(KeyTraits<StrKey>::max() == StrKey::plus_infinity());
+  EXPECT_EQ(KeyTraits<StrKey>::format(StrKey::make("k1")), "k1");
+}
+
+TEST(StrKeyTraits, HeatCoordIsMonotoneOnPrefixes) {
+  // heat_coord packs the first 7 bytes big-endian: it must order the
+  // infinities at the extremes and respect prefix order between strings.
+  const long long lo = KeyTraits<StrKey>::heat_coord(StrKey::minus_infinity());
+  const long long hi = KeyTraits<StrKey>::heat_coord(StrKey::plus_infinity());
+  const long long a = KeyTraits<StrKey>::heat_coord(StrKey::make("aaa"));
+  const long long b = KeyTraits<StrKey>::heat_coord(StrKey::make("bbb"));
+  EXPECT_LT(lo, a);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, hi);
+}
+
+}  // namespace
+}  // namespace cats
